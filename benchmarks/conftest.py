@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``test_bench_*`` module regenerates one table or figure of the
+paper.  A single :class:`ExperimentContext` is shared across the whole
+benchmark session so that the Figure 2/3/4 sweeps reuse each other's
+measurements (they are three views of one 400-run priority sweep).
+
+Every benchmark writes its rendered report to
+``benchmarks/results/<id>.txt`` so the regenerated rows/series are
+inspectable after a ``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.config import POWER5
+from repro.experiments import ExperimentContext
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    """The shared measurement context (small preset, FAME defaults)."""
+    return ExperimentContext(config=POWER5.small(), min_repetitions=3,
+                             max_cycles=2_500_000)
+
+
+@pytest.fixture(scope="session")
+def save_report():
+    """Write an experiment report to benchmarks/results/<id>.txt."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def save(report):
+        path = RESULTS_DIR / f"{report.experiment_id}.txt"
+        path.write_text(str(report) + "\n")
+        return path
+    return save

@@ -1,0 +1,41 @@
+"""Benches for the extension experiments (not paper artifacts).
+
+- noise: the section 4.1/4.3 methodology argument — the stock kernel's
+  priority resets neutralize the mechanism under study;
+- modelcheck: the closed-form decode-share model tracks the simulator.
+"""
+
+from repro.experiments import run_modelcheck, run_noise
+
+
+def test_bench_noise(benchmark, ctx, save_report):
+    report = benchmark.pedantic(lambda: run_noise(ctx),
+                                rounds=1, iterations=1)
+    save_report(report)
+    stock = report.data["stock kernel, ticks on core"]
+    patched = report.data["patched kernel, ticks on core"]
+    isolated = report.data["isolated (no kernel activity)"]
+    # The stock kernel wipes the (6,1) setting at each tick...
+    assert stock["final_priorities"] == (4, 4)
+    assert stock["ratio"] < 2.0
+    # ...while the patched kernel behaves like full isolation.
+    assert patched["final_priorities"] == (6, 1)
+    assert patched["ratio"] > 10.0
+    assert abs(patched["ipc0"] - isolated["ipc0"]) < 0.05
+    # Ticks also add repetition-time jitter.
+    assert stock["rep_jitter"] > 5 * patched["rep_jitter"]
+
+
+def test_bench_modelcheck(benchmark, ctx, save_report):
+    report = benchmark.pedantic(lambda: run_modelcheck(ctx),
+                                rounds=1, iterations=1)
+    save_report(report)
+    # The first-order model tracks the simulator closely for the
+    # decode-limited and memory-bound kernels across the whole range.
+    for name in ("cpu_int", "ldint_l1", "ldint_mem"):
+        for point in report.data[name]:
+            assert abs(point["error"]) < 0.25, (name, point)
+    # Every prediction is within 2x even at the knees.
+    for series in report.data.values():
+        for point in series:
+            assert abs(point["error"]) < 1.0, point

@@ -1,0 +1,23 @@
+"""Bench: regenerate Figure 1 (FAME methodology illustration).
+
+The figure's semantics: with a 10-repetition quota, the run ends when
+the slower benchmark completes its quota; the faster one has executed
+more repetitions by then and its trailing partial execution is
+discarded from its accounting.
+"""
+
+from repro.experiments.figure1 import run_figure1
+
+
+def test_bench_figure1(benchmark, ctx, save_report):
+    report = benchmark.pedantic(lambda: run_figure1(ctx),
+                                rounds=1, iterations=1)
+    save_report(report)
+    slow, fast = report.data["slow"], report.data["fast"]
+    quota = report.data["quota"]
+    assert slow["repetitions"] >= quota
+    assert fast["repetitions"] > slow["repetitions"]
+    # The run ends with the slow benchmark's last completion.
+    assert slow["rep_end_times"][-1] <= report.data["total_cycles"]
+    # Fast thread's FAME window excludes its trailing partial rep.
+    assert fast["accounted_cycles"] == fast["rep_end_times"][-1]

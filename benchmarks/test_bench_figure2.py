@@ -1,0 +1,37 @@
+"""Bench: regenerate Figure 2 (positive-priority speedup curves).
+
+Shape checks from the paper's section 5.1: curves are monotone
+non-decreasing, cpu-bound threads approach their 2-2.5x recovery,
++2 is near saturation for high-IPC threads, and memory-bound threads
+benefit only against other memory-bound threads.
+"""
+
+from repro.experiments import run_figure2
+
+
+def test_bench_figure2(benchmark, ctx, save_report):
+    report = benchmark.pedantic(lambda: run_figure2(ctx),
+                                rounds=1, iterations=1)
+    save_report(report)
+    series = report.data["series"]
+
+    # Monotone improvement (small tolerance for simulation noise).
+    for curve in series.values():
+        for a, b in zip(curve, curve[1:]):
+            assert b >= 0.93 * a
+
+    # cpu_int recovers strongly against the chain thread (paper ~2.5x).
+    assert series[("cpu_int", "lng_chain_cpuint")][-1] > 1.5
+
+    # +2 reaches most of the +5 benefit for the cpu-bound thread.
+    cpu = series[("cpu_int", "lng_chain_cpuint")]
+    assert cpu[1] > 0.75 * cpu[-1]
+
+    # Memory-bound gains meaningfully only vs memory-bound (paper:
+    # +70% for ldint_mem vs ldint_mem, ~nothing vs cpu_int).
+    assert series[("ldint_mem", "ldint_mem")][-1] > 1.3
+    assert series[("ldint_mem", "cpu_int")][-1] < 1.25
+
+    # ldint_l2 benefits most against another ldint_l2 (paper: +240%).
+    l2 = series[("ldint_l2", "ldint_l2")]
+    assert l2[-1] > 1.8

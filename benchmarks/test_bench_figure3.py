@@ -1,0 +1,45 @@
+"""Bench: regenerate Figure 3 (negative-priority slowdown curves).
+
+Shape checks from section 5.2: slowdowns grow with the difference,
+reach order-of-magnitude for cpu-bound threads, while ldint_mem stays
+nearly flat against non-memory partners, and the effect of negative
+priorities far exceeds the corresponding positive benefit.
+"""
+
+from repro.experiments import run_figure2, run_figure3
+
+
+def test_bench_figure3(benchmark, ctx, save_report):
+    report = benchmark.pedantic(lambda: run_figure3(ctx),
+                                rounds=1, iterations=1)
+    save_report(report)
+    series = report.data["series"]
+
+    # Slowdowns are monotone in the priority difference.  The
+    # ldint_l2-vs-ldint_l2 pair wobbles: its performance is dominated
+    # by which thread's lines survive the shared L2 sets, a bistable
+    # thrash -- allow it more slack.
+    for (p, s), curve in series.items():
+        tolerance = 0.75 if p == s == "ldint_l2" else 0.9
+        for a, b in zip(curve, curve[1:]):
+            assert b >= tolerance * a, (p, s, curve)
+
+    # cpu-bound starvation reaches order-of-magnitude at -5
+    # (paper: 20x vs cpu, 42x vs mem).
+    assert series[("cpu_int", "cpu_int")][-1] > 10
+    assert series[("cpu_int", "ldint_mem")][-1] > 10
+
+    # ldint_mem is insensitive against non-memory partners
+    # (paper: < 2.5x), more sensitive against itself.
+    assert series[("ldint_mem", "cpu_int")][-1] < 2.5
+    assert series[("ldint_mem", "cpu_fp")][-1] < 2.5
+    assert (series[("ldint_mem", "ldint_mem")][-1]
+            > series[("ldint_mem", "cpu_int")][-1])
+
+    # Negative effects dwarf positive ones (section 5.2: "while
+    # positive priorities improve up to ~4x, negative can degrade by
+    # more than forty times").
+    fig2 = run_figure2(ctx)  # cached measurements, costs nothing new
+    max_gain = max(curve[-1] for curve in fig2.data["series"].values())
+    max_loss = max(curve[-1] for curve in series.values())
+    assert max_loss > 2 * max_gain

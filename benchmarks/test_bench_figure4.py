@@ -1,0 +1,42 @@
+"""Bench: regenerate Figure 4 (throughput across the priority range).
+
+Shape checks from section 5.3: prioritizing the higher-IPC thread of
+an unbalanced pair improves total IPC (up to ~2x in extreme cases),
+de-prioritizing it collapses throughput, and the memory/memory pair
+improves when either side is prioritized.
+"""
+
+from repro.experiments import run_figure4
+
+
+def test_bench_figure4(benchmark, ctx, save_report):
+    report = benchmark.pedantic(lambda: run_figure4(ctx),
+                                rounds=1, iterations=1)
+    save_report(report)
+    series = report.data["series"]
+    diffs = report.data["diffs"]
+    zero = diffs.index(0)
+
+    # The baseline point is 1.0 by construction.
+    for curve in series.values():
+        assert abs(curve[zero] - 1.0) < 1e-9
+
+    # Prioritizing cpu_int over the chain thread wins big (paper: up
+    # to ~2x for such pairs).
+    up = series[("cpu_int", "lng_chain_cpuint")][diffs.index(2)]
+    down = series[("cpu_int", "lng_chain_cpuint")][diffs.index(-2)]
+    assert up > 1.25
+    assert down < 0.75
+
+    # Wrongly prioritizing a memory-bound thread over a cpu-bound one
+    # never helps throughput (rule of thumb in section 5.1).
+    mem_up = series[("ldint_mem", "cpu_int")][diffs.index(4)]
+    assert mem_up < 1.1
+
+    # In general the best throughput comes from raising the
+    # higher-IPC side: check across all pairs with a large ST gap.
+    gains = []
+    for (p, s), curve in series.items():
+        if p == "ldint_l1" and s in ("lng_chain_cpuint", "cpu_fp"):
+            gains.append(curve[diffs.index(2)])
+    assert all(g > 1.0 for g in gains)

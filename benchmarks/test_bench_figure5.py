@@ -1,0 +1,33 @@
+"""Bench: regenerate Figure 5 (case-study throughput curves).
+
+Paper: h264ref+mcf peaks at +23.7% combined IPC (+7.2% at +2);
+applu+equake at +14%.  The reproduction must show a positive peak of
+the same order for both pairs, reached by raising the high-IPC
+thread's priority.
+"""
+
+from repro.experiments import run_figure5
+
+
+def test_bench_figure5(benchmark, ctx, save_report):
+    report = benchmark.pedantic(lambda: run_figure5(ctx),
+                                rounds=1, iterations=1)
+    save_report(report)
+
+    h264 = report.data[("h264ref", "mcf")]
+    peak = max(s["gain"] for s in h264)
+    # Paper: +23.7%.  Accept a band around it.
+    assert 0.08 < peak < 0.80
+    # Already positive at +2 (paper: +7.2%).
+    at2 = next(s for s in h264 if s["diff"] == 2)
+    assert at2["gain"] > 0.02
+    # The prioritized thread gains, the victim loses.
+    base = next(s for s in h264 if s["diff"] == 0)
+    best = max(h264, key=lambda s: s["total_ipc"])
+    assert best["primary_ipc"] > base["primary_ipc"]
+    assert best["secondary_ipc"] < base["secondary_ipc"]
+
+    applu = report.data[("applu", "equake")]
+    peak_b = max(s["gain"] for s in applu)
+    # Paper: +14%.
+    assert 0.04 < peak_b < 0.80

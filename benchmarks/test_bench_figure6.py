@@ -1,0 +1,54 @@
+"""Bench: regenerate Figure 6 (transparent execution).
+
+Paper section 5.5: with the background at priority 1, foregrounds run
+near their single-thread speed; high-IPC foregrounds are the most
+affected (especially with a memory-bound background); ldint_mem as a
+foreground is immune (~7%) except against another ldint_mem; and the
+background still achieves measurable progress.
+"""
+
+from repro.experiments import run_figure6
+
+
+def test_bench_figure6(benchmark, ctx, save_report):
+    report = benchmark.pedantic(lambda: run_figure6(ctx),
+                                rounds=1, iterations=1)
+    save_report(report)
+    ab = report.data["ab"]
+    panel_d = report.data["d"]
+
+    benches = ("ldint_l1", "ldint_l2", "ldint_mem", "cpu_int",
+               "cpu_fp", "lng_chain_cpuint")
+
+    # Transparency: at (6,1) every foreground stays within 40% of ST,
+    # and the low-IPC foregrounds within 15% (paper: ~10%).  The one
+    # exception is ldint_l2 over a memory-bound background: priority
+    # controls decode slots, not cache contents, and the background's
+    # fills evict the foreground's L2-resident set (the paper likewise
+    # singles out ldint_l2 as a most-affected foreground).
+    for fg in benches:
+        for bg in benches:
+            limit = 2.6 if fg == "ldint_l2" and bg == "ldint_mem" else 1.4
+            assert ab[(6, fg, bg)] < limit, (fg, bg)
+    for fg in ("cpu_fp", "lng_chain_cpuint"):
+        for bg in benches:
+            assert ab[(6, fg, bg)] < 1.15
+
+    # ldint_mem foreground is immune except against itself.
+    for bg in ("cpu_int", "cpu_fp", "lng_chain_cpuint", "ldint_l1"):
+        assert ab[(6, "ldint_mem", bg)] < 1.12
+    assert ab[(6, "ldint_mem", "ldint_mem")] >= \
+        ab[(6, "ldint_mem", "cpu_int")]
+
+    # Lowering the foreground priority towards the background
+    # increases the interference (panel c trend).
+    for fg in ("cpu_fp", "lng_chain_cpuint"):
+        curve = report.data["c"][fg]
+        assert curve[-1] >= curve[0] - 0.05  # (2,1) at least as bad as (6,1)
+
+    # Background threads achieve nonzero progress (panel d; paper
+    # reports e.g. 0.23 against cpu_fp foregrounds).
+    for bg in benches:
+        assert panel_d[(bg, 6)] > 0.0
+    # A cpu-bound background gets more done than a memory-bound one.
+    assert panel_d[("cpu_int", 6)] > panel_d[("ldint_mem", 6)]

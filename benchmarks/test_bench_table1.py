@@ -1,0 +1,16 @@
+"""Bench: regenerate Table 1 (priority levels / privilege / or-nops)."""
+
+from repro.experiments import run_table1
+
+
+def test_bench_table1(benchmark, ctx, save_report):
+    report = benchmark.pedantic(lambda: run_table1(ctx),
+                                rounds=1, iterations=1)
+    save_report(report)
+    assert not report.data["failures"]
+    assert len(report.data["rows"]) == 8
+    # Spot-check the paper's encodings.
+    text = report.text
+    for form in ("or 31,31,31", "or 1,1,1", "or 6,6,6", "or 2,2,2",
+                 "or 5,5,5", "or 3,3,3", "or 7,7,7"):
+        assert form in text

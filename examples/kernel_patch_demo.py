@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Why the paper needed a kernel patch (section 4.3).
+
+The stock Linux 2.6.23 kernel resets both hardware threads to MEDIUM
+priority on *every* kernel entry -- each timer tick wipes whatever a
+user experiment configured.  The paper's patch removes the kernel's
+internal priority uses, stops the resets, and exposes priorities 1-6
+through /sys.
+
+This example runs the same prioritized workload pair under both
+kernels and shows that prioritization only has an effect under the
+patched one; it then uses the /sys interface exactly as a user-space
+experiment would.
+
+Run:  python examples/kernel_patch_demo.py
+"""
+
+from repro import POWER5, SMTCore, make_microbenchmark
+from repro.syskernel import PatchedKernel, StockLinuxKernel
+
+SECONDARY_BASE = (1 << 27) + 8192
+TIMER_PERIOD = 2_000   # cycles between timer interrupts (shortened)
+RUN_CYCLES = 120_000
+
+
+def run_under(kernel) -> tuple[float, float, int]:
+    config = POWER5.small()
+    core = SMTCore(config)
+    core.load([make_microbenchmark("cpu_int", config),
+               make_microbenchmark("cpu_int", config,
+                                   base_address=SECONDARY_BASE)])
+    kernel.install(core)
+    core.set_priorities(6, 1)   # what the experimenter asked for
+    core.step(RUN_CYCLES)
+    t0 = core.thread(0).retired / RUN_CYCLES
+    t1 = core.thread(1).retired / RUN_CYCLES
+    return t0, t1, kernel.kernel_entries
+
+
+def main() -> None:
+    print("experiment: two copies of cpu_int, priorities set to (6,1)\n")
+    for name, kernel in [("stock 2.6.23", StockLinuxKernel(TIMER_PERIOD)),
+                         ("patched", PatchedKernel(TIMER_PERIOD))]:
+        ipc0, ipc1, entries = run_under(kernel)
+        ratio = ipc0 / ipc1 if ipc1 else float("inf")
+        print(f"{name:>14} kernel: thread0 {ipc0:.3f} IPC, "
+              f"thread1 {ipc1:.3f} IPC  (ratio {ratio:5.1f}x, "
+              f"{entries} kernel entries)")
+
+    print("\nUnder the stock kernel the (6,1) setting survives only")
+    print("until the next timer tick, so both threads end up nearly")
+    print("equal; under the patch the full 63/64 slot split persists.")
+
+    # The /sys interface, as user space sees it.
+    config = POWER5.small()
+    core = SMTCore(config)
+    core.load([make_microbenchmark("cpu_int", config),
+               make_microbenchmark("cpu_int", config,
+                                   base_address=SECONDARY_BASE)])
+    kernel = PatchedKernel(TIMER_PERIOD)
+    kernel.install(core)
+    path = f"{PatchedKernel.SYSFS_DIR}/thread0"
+    print(f"\n$ cat {path}")
+    print(kernel.sysfs.read(path))
+    print(f"$ echo 6 > {path}")
+    kernel.sysfs.write(path, "6")
+    print(f"$ cat {path}")
+    print(kernel.sysfs.read(path))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Execution-time case study: balancing an FFT -> LU pipeline.
+
+Reproduces paper section 5.4 (Table 4).  A spectral-analysis code
+pipelines a long FFT stage into a short LU stage on the two SMT
+threads of one core.  At default priorities the LU thread finishes its
+slice early and idles; prioritizing the FFT re-balances the pipeline
+and beats both single-thread execution and the default priorities --
+but over-prioritizing inverts the imbalance (the LU becomes the
+bottleneck) and loses.
+
+The stages are real algorithms: a radix-2 FFT and a Doolittle LU
+decomposition, instrumented to emit their instruction streams.
+
+Run:  python examples/pipeline_balancing.py
+"""
+
+from repro import POWER5
+from repro.workloads import SoftwarePipeline
+
+
+def main() -> None:
+    config = POWER5.small()
+    pipe = SoftwarePipeline(config=config)
+
+    fft_st, lu_st = pipe.single_thread_times()
+    st_iter = fft_st + lu_st
+    print(f"single-thread: FFT {fft_st:,.0f} cyc, LU {lu_st:,.0f} cyc "
+          f"-> iteration {st_iter:,.0f} cyc "
+          f"({config.seconds(st_iter) * 1e6:.1f} us at "
+          f"{config.clock_hz / 1e9:.2f} GHz)\n")
+
+    header = (f"{'prios':>7} {'FFT':>9} {'LU busy':>9} "
+              f"{'iteration':>10} {'vs ST':>7}")
+    print(header)
+    print("-" * len(header))
+    best = None
+    for prios in [(4, 4), (5, 4), (6, 4), (6, 3)]:
+        run = pipe.run(priorities=prios, iterations=10)
+        rel = run.iteration_cycles / st_iter
+        marker = ""
+        if best is None or run.iteration_cycles < best[1]:
+            best = (prios, run.iteration_cycles)
+        if run.consumer_rep_cycles > run.producer_rep_cycles:
+            marker = "  <- LU became the bottleneck"
+        print(f"{str(prios):>7} {run.producer_rep_cycles:>9,.0f} "
+              f"{run.consumer_rep_cycles:>9,.0f} "
+              f"{run.iteration_cycles:>10,.0f} {rel:>6.2f}x{marker}")
+
+    prios, cycles = best
+    print(f"\nbest: priorities {prios}, "
+          f"{(1 - cycles / st_iter) * 100:.1f}% faster than "
+          "single-thread mode")
+    print("(the paper's best case is (6,4): 9.3% over the default")
+    print(" priorities; its (6,3) row likewise inverts the imbalance)")
+
+
+if __name__ == "__main__":
+    main()

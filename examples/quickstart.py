@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Quickstart: measure the effect of POWER5 software priorities.
+
+Runs a cpu-bound micro-benchmark against a memory-bound one on the
+simulated POWER5 core at several priority pairs and prints what the
+paper's Figures 2-4 show: the cpu-bound thread's performance scales
+with its decode-slot share, the memory-bound thread barely cares, and
+total throughput is maximised by prioritizing the high-IPC thread.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import POWER5, make_microbenchmark
+from repro.fame import FameRunner
+from repro.priority import decode_slot_ratio, slot_share
+
+SECONDARY_BASE = (1 << 27) + 8192
+
+
+def main() -> None:
+    config = POWER5.small()
+    runner = FameRunner(config, min_repetitions=3)
+
+    primary, secondary = "cpu_int", "ldint_mem"
+    print(f"PThread = {primary} (cpu-bound), "
+          f"SThread = {secondary} (memory-bound)\n")
+
+    header = (f"{'prios':>8} {'R':>4} {'P share':>8} "
+              f"{'P IPC':>7} {'S IPC':>7} {'total':>7}")
+    print(header)
+    print("-" * len(header))
+    for prios in [(4, 4), (5, 4), (6, 4), (6, 2), (2, 6), (1, 6)]:
+        fame = runner.run_pair(
+            make_microbenchmark(primary, config),
+            make_microbenchmark(secondary, config,
+                                base_address=SECONDARY_BASE),
+            priorities=prios)
+        ratio = decode_slot_ratio(*prios)
+        share = slot_share(*prios)[0]
+        print(f"{str(prios):>8} {ratio:>4} {share:>8.3f} "
+              f"{fame.thread(0).ipc:>7.3f} {fame.thread(1).ipc:>7.4f} "
+              f"{fame.total_ipc:>7.3f}")
+
+    print("\nReading the table:")
+    print(" - raising the cpu-bound thread's priority raises its IPC")
+    print("   nearly in proportion to its decode-slot share;")
+    print(" - the memory-bound thread's IPC is almost flat (it is")
+    print("   latency-bound, not decode-bound);")
+    print(" - total throughput peaks when the high-IPC thread is")
+    print("   prioritized, and collapses when it is starved.")
+
+
+if __name__ == "__main__":
+    main()

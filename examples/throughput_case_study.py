@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Throughput case study: h264ref + mcf (paper section 5.3.1).
+
+A batch system running a high-IPC video encoder next to a
+memory-bound network-simplex code wants maximum combined IPC.  The
+paper shows that raising h264ref's priority buys +7.2% at difference
++2 and peaks at +23.7% -- at the cost of slowing mcf down.
+
+This example sweeps the priority pairs, prints the trade-off and
+locates the peak, using the calibrated synthetic models of the two
+applications.
+
+Run:  python examples/throughput_case_study.py
+"""
+
+from repro import POWER5
+from repro.experiments import ExperimentContext, priority_pair
+
+DIFFS = (0, 1, 2, 3, 4, 5)
+
+
+def main() -> None:
+    ctx = ExperimentContext(config=POWER5.small(), min_repetitions=3)
+
+    print("case study: 464.h264ref + 429.mcf (synthetic models)\n")
+    header = (f"{'diff':>5} {'prios':>7} {'h264ref':>9} {'mcf':>9} "
+              f"{'total IPC':>10} {'vs (4,4)':>9}")
+    print(header)
+    print("-" * len(header))
+
+    base_total = None
+    best = None
+    for diff in DIFFS:
+        pm = ctx.pair("h264ref", "mcf", priority_pair(diff))
+        if base_total is None:
+            base_total = pm.total_ipc
+        gain = pm.total_ipc / base_total - 1
+        if best is None or pm.total_ipc > best[1]:
+            best = (diff, pm.total_ipc, gain)
+        print(f"{diff:>+5d} {str(pm.priorities):>7} "
+              f"{pm.primary.ipc:>9.3f} {pm.secondary.ipc:>9.4f} "
+              f"{pm.total_ipc:>10.3f} {gain * 100:>+8.1f}%")
+
+    diff, _, gain = best
+    print(f"\npeak throughput at difference +{diff}: "
+          f"{gain * 100:+.1f}% over the default priorities")
+    print("(the paper measures +23.7% on real hardware; the gain comes")
+    print(" from the encoder exploiting decode slots mcf cannot use)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim: this environment lacks the `wheel` package, so editable
+installs go through the legacy setuptools path (`--no-use-pep517`)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,64 @@
+"""Reproduction of *Software-Controlled Priority Characterization of
+POWER5 Processor* (Boneti et al., ISCA 2008).
+
+The package builds, from scratch, every system the paper depends on:
+
+- :mod:`repro.isa` -- the instruction/trace model, including the
+  ``or X,X,X`` priority nops of Table 1;
+- :mod:`repro.memory` -- the shared L1D/L2/L3/DRAM hierarchy, TLB and
+  load-miss queue;
+- :mod:`repro.branch` -- the branch history table;
+- :mod:`repro.priority` -- the eight software-controlled priority levels,
+  the decode-slot formula ``R = 2**(|dP|+1)`` and the slot arbiter;
+- :mod:`repro.core` -- the cycle-level two-way SMT core (GCT, FUs,
+  dynamic hardware resource balancing);
+- :mod:`repro.syskernel` -- the Linux-kernel priority behaviour and the
+  paper's kernel patch / ``/sys`` interface;
+- :mod:`repro.microbench` -- the 15 micro-benchmarks of Table 2;
+- :mod:`repro.fame` -- the FAME measurement methodology;
+- :mod:`repro.workloads` -- SPEC-like case-study workloads and the
+  FFT -> LU software pipeline;
+- :mod:`repro.experiments` -- one harness per table/figure of the paper.
+
+Quickstart::
+
+    from repro import POWER5, SMTCore, make_microbenchmark
+    from repro.fame import FameRunner
+
+    runner = FameRunner(POWER5.small())
+    result = runner.run_pair(make_microbenchmark("cpu_int"),
+                             make_microbenchmark("ldint_mem"),
+                             priorities=(6, 2))
+    print(result.thread(0).ipc, result.total_ipc)
+"""
+
+from repro.config import POWER5, CoreConfig
+from repro.core import CoreResult, SMTCore, ThreadResult
+from repro.isa import Instruction, OpClass, Trace
+from repro.microbench import MICROBENCHMARKS, make_microbenchmark
+from repro.priority import (
+    PriorityLevel,
+    PrivilegeLevel,
+    decode_slot_ratio,
+    slot_share,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "POWER5",
+    "CoreConfig",
+    "SMTCore",
+    "CoreResult",
+    "ThreadResult",
+    "Instruction",
+    "OpClass",
+    "Trace",
+    "MICROBENCHMARKS",
+    "make_microbenchmark",
+    "PriorityLevel",
+    "PrivilegeLevel",
+    "decode_slot_ratio",
+    "slot_share",
+    "__version__",
+]

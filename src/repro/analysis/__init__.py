@@ -1,0 +1,31 @@
+"""Performance metrics and the analytical decode-share model."""
+
+from repro.analysis.metrics import (
+    fairness,
+    harmonic_mean_of_speedups,
+    relative_series,
+    slowdown,
+    speedup,
+    total_ipc,
+    weighted_speedup,
+)
+from repro.analysis.model import (
+    ThreadModel,
+    predict_pair_ipc,
+    predict_speedup,
+    priority_sensitivity,
+)
+
+__all__ = [
+    "speedup",
+    "slowdown",
+    "total_ipc",
+    "weighted_speedup",
+    "harmonic_mean_of_speedups",
+    "fairness",
+    "relative_series",
+    "ThreadModel",
+    "predict_pair_ipc",
+    "predict_speedup",
+    "priority_sensitivity",
+]

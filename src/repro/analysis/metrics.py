@@ -1,0 +1,62 @@
+"""Multithreaded performance metrics used across the experiments."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def speedup(baseline_time: float, new_time: float) -> float:
+    """Execution-time speedup (> 1 means faster than baseline)."""
+    if new_time <= 0:
+        raise ValueError("times must be positive")
+    return baseline_time / new_time
+
+
+def slowdown(baseline_time: float, new_time: float) -> float:
+    """Execution-time slowdown factor (> 1 means slower)."""
+    if baseline_time <= 0:
+        raise ValueError("times must be positive")
+    return new_time / baseline_time
+
+
+def total_ipc(ipcs: Sequence[float]) -> float:
+    """Combined throughput: sum of per-thread IPCs (the paper's tt)."""
+    return sum(ipcs)
+
+
+def weighted_speedup(smt_ipcs: Sequence[float],
+                     st_ipcs: Sequence[float]) -> float:
+    """Snavely/Tullsen weighted speedup: sum of IPC_smt / IPC_st."""
+    if len(smt_ipcs) != len(st_ipcs):
+        raise ValueError("need one ST IPC per SMT IPC")
+    if any(st <= 0 for st in st_ipcs):
+        raise ValueError("ST IPCs must be positive")
+    return sum(smt / st for smt, st in zip(smt_ipcs, st_ipcs))
+
+
+def harmonic_mean_of_speedups(smt_ipcs: Sequence[float],
+                              st_ipcs: Sequence[float]) -> float:
+    """Luo et al. fairness-aware harmonic mean of relative IPCs."""
+    if len(smt_ipcs) != len(st_ipcs):
+        raise ValueError("need one ST IPC per SMT IPC")
+    if any(ipc <= 0 for ipc in smt_ipcs):
+        return 0.0
+    return len(smt_ipcs) / sum(st / smt
+                               for smt, st in zip(smt_ipcs, st_ipcs))
+
+
+def fairness(smt_ipcs: Sequence[float],
+             st_ipcs: Sequence[float]) -> float:
+    """Min/max ratio of the threads' relative progress (1 = fair)."""
+    rel = [smt / st for smt, st in zip(smt_ipcs, st_ipcs)]
+    if not rel or max(rel) == 0:
+        return 0.0
+    return min(rel) / max(rel)
+
+
+def relative_series(values: Sequence[float], baseline: float,
+                    ) -> list[float]:
+    """Each value divided by the baseline."""
+    if baseline == 0:
+        raise ValueError("baseline must be nonzero")
+    return [v / baseline for v in values]

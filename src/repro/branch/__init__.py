@@ -1,0 +1,5 @@
+"""Branch prediction (see :mod:`repro.branch.bht`)."""
+
+from repro.branch.bht import BimodalBHT
+
+__all__ = ["BimodalBHT"]

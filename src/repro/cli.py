@@ -1,0 +1,102 @@
+"""Command-line interface: regenerate any table or figure.
+
+Usage::
+
+    power5-repro list
+    power5-repro table3
+    power5-repro all --preset default --min-reps 10
+    python -m repro figure5 --json results.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.config import POWER5
+from repro.experiments import EXPERIMENTS, ExperimentContext, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="power5-repro",
+        description="Reproduce the tables and figures of 'Software-"
+                    "Controlled Priority Characterization of POWER5 "
+                    "Processor' (ISCA 2008) on the simulator.")
+    parser.add_argument(
+        "experiment",
+        help="experiment id (see 'list'), or 'all', or 'list'")
+    parser.add_argument(
+        "--preset", choices=("small", "default"), default="small",
+        help="machine preset: 'small' (scaled caches, fast; default) "
+             "or 'default' (full POWER5 geometry)")
+    parser.add_argument(
+        "--min-reps", type=int, default=3, metavar="N",
+        help="FAME minimum repetitions per thread (paper used 10)")
+    parser.add_argument(
+        "--max-cycles", type=int, default=2_500_000, metavar="N",
+        help="per-measurement simulated-cycle budget")
+    parser.add_argument(
+        "--json", metavar="PATH",
+        help="also dump experiment data as JSON to PATH")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for exp_id in EXPERIMENTS:
+            print(exp_id)
+        return 0
+    config = POWER5.small() if args.preset == "small" else POWER5.default()
+    ctx = ExperimentContext(config=config,
+                            min_repetitions=args.min_reps,
+                            max_cycles=args.max_cycles)
+    if args.experiment == "all":
+        ids = list(EXPERIMENTS)
+    elif args.experiment in EXPERIMENTS:
+        ids = [args.experiment]
+    else:
+        print(f"unknown experiment {args.experiment!r}; "
+              f"available: {', '.join(EXPERIMENTS)} (or 'all', 'list')",
+              file=sys.stderr)
+        return 2
+    reports = []
+    for exp_id in ids:
+        start = time.time()
+        report = run_experiment(exp_id, ctx)
+        elapsed = time.time() - start
+        print(report)
+        print(f"   [{elapsed:.1f}s, {ctx.cached_runs()} cached runs]\n")
+        reports.append(report)
+    if args.json:
+        payload = [{"id": r.experiment_id, "title": r.title,
+                    "paper_reference": r.paper_reference,
+                    "data": _jsonable(r.data)} for r in reports]
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _jsonable(obj):
+    """Make experiment data JSON-serializable (tuple keys -> strings)."""
+    if isinstance(obj, dict):
+        return {_key(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    return obj
+
+
+def _key(key) -> str:
+    if isinstance(key, tuple):
+        return "|".join(str(k) for k in key)
+    return str(key)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,21 @@
+"""Machine configurations (see :mod:`repro.config.power5`)."""
+
+from repro.config.power5 import (
+    POWER5,
+    BalancerConfig,
+    BranchConfig,
+    CacheConfig,
+    CoreConfig,
+    MemoryConfig,
+    TLBConfig,
+)
+
+__all__ = [
+    "POWER5",
+    "CoreConfig",
+    "CacheConfig",
+    "TLBConfig",
+    "MemoryConfig",
+    "BranchConfig",
+    "BalancerConfig",
+]

@@ -1,0 +1,22 @@
+"""The cycle-level SMT core (see :mod:`repro.core.smt_core`)."""
+
+from repro.core.balancer import BalancerStats, ResourceBalancer
+from repro.core.fu import FunctionalUnits, UnitPool
+from repro.core.results import CoreResult, ThreadResult
+from repro.core.smt_core import SMTCore
+from repro.core.tracing import PipelineEvent, PipelineTracer
+from repro.core.thread import HardwareThread, InflightGroup
+
+__all__ = [
+    "SMTCore",
+    "CoreResult",
+    "ThreadResult",
+    "HardwareThread",
+    "InflightGroup",
+    "FunctionalUnits",
+    "UnitPool",
+    "ResourceBalancer",
+    "BalancerStats",
+    "PipelineTracer",
+    "PipelineEvent",
+]

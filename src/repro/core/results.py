@@ -1,0 +1,121 @@
+"""Measurement results produced by the core and consumed by FAME.
+
+All IPC and execution-time figures follow the FAME accounting of the
+paper (section 4.1): a thread's measurement window closes at the end of
+its last *complete* repetition; the time of an incomplete trailing
+repetition is discarded.  Additionally the first ``warmup``
+repetitions are excluded from the window when enough complete
+repetitions exist -- the simulator starts with cold caches, and FAME's
+steady-state premise (the accumulated IPC has converged) would
+otherwise require many more repetitions to wash the cold-start out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import CoreConfig
+
+
+@dataclass(frozen=True)
+class ThreadResult:
+    """Per-thread outcome of a simulation."""
+
+    thread_id: int
+    workload: str
+    priority: int
+    cycles: int                      # total simulated cycles
+    retired: int                     # all retired instructions
+    repetitions: int                 # complete repetitions
+    rep_end_times: tuple[int, ...]   # completion cycle per repetition
+    rep_end_retired: tuple[int, ...]  # cumulative retired at each rep end
+    mispredicts: int = 0
+    flushes: int = 0
+    owned_slots: int = 0
+    wasted_slots: int = 0
+    slots_lost_gct: int = 0
+    warmup: int = 1   # cold-start repetitions excluded when possible
+
+    @property
+    def accounted_cycles(self) -> int:
+        """Cycles until the last complete repetition (FAME window)."""
+        if self.rep_end_times:
+            return self.rep_end_times[-1]
+        return self.cycles
+
+    @property
+    def accounted_retired(self) -> int:
+        """Instructions retired within the FAME window."""
+        if self.rep_end_retired:
+            return self.rep_end_retired[-1]
+        return self.retired
+
+    def _steady(self) -> tuple[int, int, int] | None:
+        """(cycles, retired, reps) of the post-warmup window, or None
+        when too few complete repetitions exist to discard warmup."""
+        if self.repetitions <= self.warmup or self.warmup < 1:
+            return None
+        w = self.warmup - 1
+        cycles = self.rep_end_times[-1] - self.rep_end_times[w]
+        retired = self.rep_end_retired[-1] - self.rep_end_retired[w]
+        return cycles, retired, self.repetitions - self.warmup
+
+    @property
+    def ipc(self) -> float:
+        """FAME accumulated IPC over the steady-state window."""
+        steady = self._steady()
+        if steady is not None:
+            cycles, retired, _ = steady
+            return retired / cycles if cycles else 0.0
+        cycles = self.accounted_cycles
+        return self.accounted_retired / cycles if cycles else 0.0
+
+    @property
+    def avg_repetition_cycles(self) -> float:
+        """Average cycles per complete repetition (the paper's
+        per-thread execution-time estimate), warmup excluded."""
+        steady = self._steady()
+        if steady is not None:
+            cycles, _, reps = steady
+            return cycles / reps
+        if not self.repetitions:
+            return float("inf")
+        return self.rep_end_times[-1] / self.repetitions
+
+    def avg_repetition_seconds(self, config: CoreConfig) -> float:
+        """Average repetition time in nominal seconds."""
+        return config.seconds(self.avg_repetition_cycles)
+
+
+@dataclass(frozen=True)
+class CoreResult:
+    """Outcome of one simulation of the two-way SMT core."""
+
+    cycles: int
+    priorities: tuple[int, int]
+    threads: tuple[ThreadResult, ...] = field(default_factory=tuple)
+
+    def thread(self, thread_id: int) -> ThreadResult:
+        """Result of thread ``thread_id``."""
+        for tr in self.threads:
+            if tr.thread_id == thread_id:
+                return tr
+        raise KeyError(f"no thread {thread_id} in result")
+
+    @property
+    def total_ipc(self) -> float:
+        """Combined throughput: sum of per-thread FAME IPCs, as in the
+        paper's ``tt`` columns and Figure 4."""
+        return sum(tr.ipc for tr in self.threads)
+
+    def speedup_over(self, baseline: "CoreResult",
+                     thread_id: int = 0) -> float:
+        """Per-thread execution-time ratio baseline/this (>1 = faster)."""
+        mine = self.thread(thread_id).avg_repetition_cycles
+        base = baseline.thread(thread_id).avg_repetition_cycles
+        return base / mine if mine else float("inf")
+
+    def throughput_factor(self, baseline: "CoreResult") -> float:
+        """Total-IPC ratio relative to a baseline run (Figure 4 metric)."""
+        base = baseline.total_ipc
+        return self.total_ipc / base if base else float("inf")

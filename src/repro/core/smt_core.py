@@ -1,0 +1,545 @@
+"""The cycle-level two-way SMT POWER5 core model.
+
+This is the measurement substrate that replaces the paper's bare-metal
+POWER5 (see DESIGN.md).  Per simulated cycle the core:
+
+1. asks the :class:`PrioritySlotArbiter` which thread owns the decode
+   slot (Eq. 1 of the paper, plus the special priority-0/1/7 modes);
+2. lets the owner decode **one group of up to five instructions**
+   (one in the low-power modes) into the shared 20-entry global
+   completion table (GCT), scheduling each instruction against the
+   register scoreboard, the shared functional-unit pools and the shared
+   memory hierarchy;
+3. retires up to one completed group per thread in order, freeing GCT
+   entries and recording FAME repetition boundaries;
+4. runs the dynamic resource balancer (stall / flush / throttle).
+
+Slots are strictly owned: a slot whose owner cannot decode (stalled,
+redirecting, GCT full, gated) is wasted, never handed to the sibling --
+the behaviour that makes extreme negative priorities catastrophic.
+
+The step loop is written for speed (flat locals, integer op codes,
+minimal allocation): full experiment sweeps simulate hundreds of
+millions of cycles.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.branch import BimodalBHT
+from repro.config import CoreConfig
+from repro.core.balancer import ResourceBalancer
+from repro.core.fu import FunctionalUnits
+from repro.core.results import CoreResult, ThreadResult
+from repro.core.thread import HardwareThread, InflightGroup
+from repro.isa.instruction import OpClass
+from repro.isa.trace import TraceSource
+from repro.memory import MemoryHierarchy
+from repro.priority import PriorityInterface, PrioritySlotArbiter
+from repro.priority.arbiter import ArbiterMode
+from repro.priority.levels import PrivilegeLevel
+
+# Integer opcode constants for the hot loop.
+_OP_FX = int(OpClass.FX)
+_OP_FX_MUL = int(OpClass.FX_MUL)
+_OP_FP = int(OpClass.FP)
+_OP_LOAD = int(OpClass.LOAD)
+_OP_STORE = int(OpClass.STORE)
+_OP_BRANCH = int(OpClass.BRANCH)
+_OP_NOP = int(OpClass.NOP)
+_OP_PRIO = int(OpClass.PRIO_NOP)
+
+#: A repetition gate: ``gate(thread_id, rep_index, now)`` -> may start.
+RepGate = Callable[[int, int, int], bool]
+
+
+class SMTCore:
+    """Trace-driven cycle-level model of one POWER5 core (2 SMT threads)."""
+
+    def __init__(self, config: CoreConfig | None = None):
+        self.config = config or CoreConfig()
+        self.hierarchy = MemoryHierarchy(self.config)
+        self.bht = BimodalBHT(self.config.branch)
+        self.fus = FunctionalUnits(self.config)
+        self.balancer = ResourceBalancer(self.config.balancer)
+        self.interface = PriorityInterface()
+        self.honor_priority_nops = True
+        self._threads: list[HardwareThread | None] = [None, None]
+        self._arbiter = PrioritySlotArbiter(
+            4, 4, self.config.low_power_decode_interval)
+        self._cycle = 0
+        self._gct_used = 0
+        self._rep_gate: RepGate | None = None
+        # Periodic hooks: list of [period, next_fire, callable(core, now)].
+        self._hooks: list[list] = []
+        # Optional pipeline tracer (see repro.core.tracing); None costs
+        # one comparison per decoded group.
+        self._tracer = None
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+
+    def load(self,
+             sources: Sequence[TraceSource | None],
+             priorities: tuple[int, int] = (4, 4),
+             privileges: tuple[PrivilegeLevel, PrivilegeLevel] = (
+                 PrivilegeLevel.USER, PrivilegeLevel.USER),
+             rep_gate: RepGate | None = None) -> None:
+        """Reset the core and install workloads.
+
+        ``sources`` holds one TraceSource per hardware thread; ``None``
+        leaves that context empty (the machine behaves as in ST mode
+        for arbitration purposes).  ``priorities`` are applied directly
+        (as the patched kernel of section 4.3 would); in-trace
+        ``or X,X,X`` requests are honoured against ``privileges``.
+        ``rep_gate`` optionally gates the start of each repetition
+        (used by the software-pipeline case study).
+        """
+        if len(sources) not in (1, 2):
+            raise ValueError("need one or two workload sources")
+        srcs = list(sources) + [None] * (2 - len(sources))
+        self.hierarchy.reset()
+        self.bht.reset()
+        self.fus.reset()
+        self.balancer.reset()
+        self.interface = PriorityInterface(priorities)
+        self._threads = [
+            HardwareThread(i, src, privileges[i]) if src is not None else None
+            for i, src in enumerate(srcs)]
+        self._cycle = 0
+        self._gct_used = 0
+        self._rep_gate = rep_gate
+        if rep_gate is not None:
+            for th in self._threads:
+                if th is not None:
+                    th.gated = True
+        self._hooks = []
+        self._rebuild_arbiter()
+
+    def attach_tracer(self, tracer) -> None:
+        """Record per-instruction pipeline events into ``tracer``."""
+        self._tracer = tracer
+
+    def detach_tracer(self) -> None:
+        """Stop recording pipeline events."""
+        self._tracer = None
+
+    def add_periodic_hook(self, period: int,
+                          hook: Callable[["SMTCore", int], None]) -> None:
+        """Run ``hook(core, now)`` every ``period`` cycles.
+
+        Used by the kernel models to inject timer interrupts (which on
+        a stock kernel reset thread priorities to MEDIUM).
+        """
+        if period < 1:
+            raise ValueError("hook period must be >= 1")
+        self._hooks.append([period, self._cycle + period, hook])
+
+    def set_priorities(self, prio_p: int, prio_s: int) -> None:
+        """Set both thread priorities with hypervisor authority."""
+        self.interface.request(0, prio_p, PrivilegeLevel.HYPERVISOR)
+        self.interface.request(1, prio_s, PrivilegeLevel.HYPERVISOR)
+        self._rebuild_arbiter()
+
+    @property
+    def priorities(self) -> tuple[int, int]:
+        """Current (thread0, thread1) software priorities."""
+        p = self.interface.priorities
+        return int(p[0]), int(p[1])
+
+    @property
+    def cycle(self) -> int:
+        """Current simulation time in cycles."""
+        return self._cycle
+
+    def thread(self, thread_id: int) -> HardwareThread:
+        """Live state of hardware thread ``thread_id``."""
+        th = self._threads[thread_id]
+        if th is None:
+            raise KeyError(f"no workload on thread {thread_id}")
+        return th
+
+    def _rebuild_arbiter(self) -> None:
+        prio_p, prio_s = self.priorities
+        # An empty context never decodes: arbitrate as if shut off.
+        if self._threads[0] is None:
+            prio_p = 0
+        if self._threads[1] is None:
+            prio_s = 0
+        self._arbiter = PrioritySlotArbiter(
+            prio_p, prio_s, self.config.low_power_decode_interval)
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+
+    def step(self, cycles: int) -> int:
+        """Simulate ``cycles`` cycles; returns cycles actually run."""
+        if cycles <= 0:
+            return 0
+        cfg = self.config
+        arbiter = self._arbiter
+        owner_of = arbiter.owner
+        threads = self._threads
+        t0, t1 = threads[0], threads[1]
+        retire_budget = cfg.retire_groups_per_cycle
+
+        bal = self.balancer
+        bal_cfg = bal.config
+        bal_enabled = bal_cfg.enabled
+        stall_en = bal_cfg.stall_enabled and bal_enabled
+        flush_en = bal_cfg.flush_enabled and bal_enabled
+        stall_thr = bal_cfg.gct_stall_threshold
+        resume_thr = bal.resume_threshold
+        window = bal_cfg.window_cycles
+
+        hooks = self._hooks
+        next_hook = min((h[1] for h in hooks), default=-1)
+
+        now = self._cycle
+        end = now + cycles
+        next_gc = now + 1024
+        while now < end:
+            if now >= next_gc:
+                self.fus.collect(now)
+                next_gc = now + 1024
+            # -- decode ------------------------------------------------
+            # A slot whose owner has *no instructions at all* (empty
+            # context, workload finished, or gated waiting for input)
+            # passes to the sibling: hardware cannot decode from an
+            # empty instruction buffer.  A slot whose owner is merely
+            # blocked (GCT full, balancer, redirect) is wasted -- that
+            # strictness is what starves low-priority threads.
+            owner = owner_of(now)
+            if owner is not None:
+                th = threads[owner]
+                if th is None or th.finished or (
+                        th.gated and not self._gate_open(th, owner, now)):
+                    owner = 1 - owner
+                    th = threads[owner]
+                    if th is not None and (th.finished or (
+                            th.gated
+                            and not self._gate_open(th, owner, now))):
+                        th = None
+                if th is not None:
+                    th.owned_slots += 1
+                    self._decode_slot(th, owner, now)
+                    if arbiter is not self._arbiter:
+                        # A priority nop changed the allocation.
+                        arbiter = self._arbiter
+                        owner_of = arbiter.owner
+
+            # -- retire (in order, one group per thread per cycle) -----
+            for th in (t0, t1):
+                if th is None or not th.inflight:
+                    continue
+                budget = retire_budget
+                q = th.inflight
+                while budget and q and q[0].completion <= now:
+                    g = q.popleft()
+                    th.retired += g.count
+                    th.gct_held -= 1
+                    self._gct_used -= 1
+                    budget -= 1
+                    if g.rep_done:
+                        th.rep_end_times.append(now)
+                        th.rep_end_retired.append(th.retired)
+
+            # -- dynamic resource balancing -----------------------------
+            if bal_enabled and t0 is not None and t1 is not None:
+                prio_p, prio_s = self.priorities
+                for th, other, mine, theirs in ((t0, t1, prio_p, prio_s),
+                                                (t1, t0, prio_s, prio_p)):
+                    if other.finished:
+                        if th.balancer_stalled:
+                            th.balancer_stalled = False
+                        continue
+                    # The GCT-occupancy stall is priority-independent:
+                    # it is a structural fairness floor that keeps one
+                    # thread from owning the entire completion table.
+                    if stall_en:
+                        if th.balancer_stalled:
+                            if th.gct_held <= resume_thr:
+                                th.balancer_stalled = False
+                        elif th.gct_held > stall_thr:
+                            th.balancer_stalled = True
+                            bal.stats.stall_events[th.thread_id] += 1
+                        if th.balancer_stalled:
+                            bal.stats.stall_cycles[th.thread_id] += 1
+                    # Flush defers to software priority: hardware does
+                    # not squash a thread that software explicitly
+                    # favoured (see ResourceBalancer docs).
+                    if (flush_en and bal.is_offender(mine, theirs)
+                            and th.inflight
+                            and th.stall_until <= now
+                            and self._gct_used >= cfg.gct_groups - 2
+                            and bal.should_flush(th.gct_held,
+                                                 th.inflight[0].completion,
+                                                 now)):
+                        self._flush(th, now)
+
+                if now >= bal.next_window:
+                    bal.next_window = now + window
+                    self._window_update(t0, t1, prio_p, prio_s)
+
+            # -- periodic hooks -----------------------------------------
+            if next_hook >= 0 and now >= next_hook:
+                for h in hooks:
+                    if now >= h[1]:
+                        h[1] += h[0]
+                        h[2](self, now)
+                next_hook = min(h[1] for h in hooks)
+                if arbiter is not self._arbiter:
+                    arbiter = self._arbiter
+                    owner_of = arbiter.owner
+
+            now += 1
+
+        self._cycle = now
+        return cycles
+
+    def _gate_open(self, th: HardwareThread, tid: int, now: int) -> bool:
+        """Re-evaluate a gated thread's repetition gate."""
+        gate = self._rep_gate
+        if gate is None or gate(tid, th.rep_index, now):
+            th.gated = False
+            return True
+        return False
+
+    def _decode_slot(self, th: HardwareThread, tid: int, now: int) -> None:
+        """Attempt to decode one group for the slot owner ``th``."""
+        if th.stall_until > now or th.balancer_stalled:
+            th.wasted_slots += 1
+            return
+        cfg = self.config
+        if th.throttled and th.owned_slots % cfg.balancer.throttle_interval:
+            th.wasted_slots += 1
+            return
+        if self._gct_used >= cfg.gct_groups:
+            th.slots_lost_gct += 1
+            return
+
+        trace = th.trace
+        pos = th.pos
+        n = len(trace)
+        if pos >= n:  # defensive: advance_repetition keeps pos < n
+            th.wasted_slots += 1
+            return
+
+        mode = self._arbiter.mode
+        if mode is ArbiterMode.LOW_POWER or mode is ArbiterMode.LOW_POWER_ST:
+            width = 1
+        else:
+            width = cfg.decode_width
+        break_long = cfg.break_group_on_long_dep
+        branch_ends = cfg.branch_ends_group
+
+        reg_ready = th.reg_ready
+        fus = self.fus
+        hier = self.hierarchy
+        base = now + cfg.decode_to_issue
+        fx_lat = cfg.fx_latency
+        mul_lat = cfg.fx_mul_latency
+        fp_lat = cfg.fp_latency
+        br_lat = cfg.branch_latency
+
+        group_comp = 0
+        count = 0
+        long_dsts: list[int] = []
+        start_pos = pos
+        start_rep = th.rep_index
+        tracer = self._tracer
+
+        while count < width and pos < n:
+            ins = trace[pos]
+            op = ins[0]
+            s1 = ins[2]
+            s2 = ins[3]
+            if count and break_long and long_dsts and (
+                    s1 in long_dsts or s2 in long_dsts):
+                break
+
+            earliest = base
+            if s1 >= 0:
+                t = reg_ready[s1]
+                if t > earliest:
+                    earliest = t
+            if s2 >= 0:
+                t = reg_ready[s2]
+                if t > earliest:
+                    earliest = t
+
+            if op == _OP_FX:
+                start = fus.fxu.issue(earliest, tid)
+                comp = start + fx_lat
+            elif op == _OP_LOAD:
+                start = fus.lsu.issue(earliest, tid)
+                comp = hier.load(ins[4], start, tid, now).complete
+                long_dsts.append(ins[1])
+            elif op == _OP_STORE:
+                start = fus.lsu.issue(earliest, tid)
+                comp = hier.store(ins[4], start, tid)
+            elif op == _OP_FX_MUL:
+                start = fus.fxu.issue(earliest, tid)
+                comp = start + mul_lat
+                long_dsts.append(ins[1])
+            elif op == _OP_FP:
+                start = fus.fpu.issue(earliest, tid)
+                comp = start + fp_lat
+                long_dsts.append(ins[1])
+            elif op == _OP_BRANCH:
+                start = fus.bxu.issue(earliest, tid)
+                comp = start + br_lat
+                pos += 1
+                count += 1
+                if comp > group_comp:
+                    group_comp = comp
+                if tracer is not None:
+                    tracer.record(tid, op, now, start, comp)
+                correct = self.bht.predict_and_update(
+                    (pos << 1) | tid, ins[5] == 1, tid)
+                if not correct:
+                    th.mispredicts += 1
+                    th.stall_until = comp + cfg.branch.mispredict_penalty
+                    break
+                if branch_ends:
+                    break
+                continue
+            elif op == _OP_PRIO:
+                start = comp = earliest
+                if self.honor_priority_nops:
+                    if self.interface.execute_nop(tid, ins, th.privilege):
+                        self._rebuild_arbiter()
+            else:  # _OP_NOP
+                start = comp = earliest
+
+            if tracer is not None:
+                tracer.record(tid, op, now, start, comp)
+            dst = ins[1]
+            if dst >= 0:
+                reg_ready[dst] = comp
+            if comp > group_comp:
+                group_comp = comp
+            pos += 1
+            count += 1
+
+        if count == 0:
+            # First instruction of the group hit a break rule against an
+            # empty group -- cannot happen, but never dispatch nothing.
+            th.wasted_slots += 1
+            return
+
+        rep_done = pos >= n
+        if start_pos == 0 and len(th.rep_start_times) == start_rep:
+            th.rep_start_times.append(now)
+        th.inflight.append(
+            InflightGroup(group_comp, count, rep_done, start_pos, start_rep))
+        th.gct_held += 1
+        self._gct_used += 1
+        th.decoded += count
+        th.groups_dispatched += 1
+        th.pos = pos
+        if rep_done:
+            th.advance_repetition()
+            if self._rep_gate is not None:
+                th.gated = True
+
+    def _flush(self, th: HardwareThread, now: int) -> None:
+        """Balancer flush: squash the thread's youngest groups.
+
+        Groups beyond the stall threshold are removed from the GCT and
+        their instructions re-decoded later; the thread pays the flush
+        redirect penalty.  Resource reservations already made by the
+        squashed instructions are *not* undone -- a real flush wastes
+        that work too.
+        """
+        target = self.balancer.config.gct_flush_target
+        squashed_first: InflightGroup | None = None
+        nsquashed = 0
+        while th.gct_held > target and len(th.inflight) > 1:
+            g = th.inflight.pop()
+            squashed_first = g
+            nsquashed += g.count
+            th.gct_held -= 1
+            self._gct_used -= 1
+        if squashed_first is None:
+            return
+        th.rewind(squashed_first.rep_index, squashed_first.start_pos)
+        th.decoded -= nsquashed
+        th.flushes += 1
+        th.flushed_instructions += nsquashed
+        # Per the paper (section 3.1), a flushed thread stops decoding
+        # "until the congestion clears": hold decode until its oldest
+        # outstanding miss resolves (bounded), plus the refill penalty.
+        oldest = th.inflight[0].completion if th.inflight else now
+        hold = min(oldest, now + self.config.memory.dram_latency * 2)
+        th.stall_until = max(now + self.balancer.config.flush_penalty, hold)
+        self.balancer.stats.flush_events[th.thread_id] += 1
+        self.balancer.stats.flushed_groups[th.thread_id] += nsquashed
+
+    def _window_update(self, t0: HardwareThread, t1: HardwareThread,
+                       prio_p: int, prio_s: int) -> None:
+        """Throttle decisions at a monitoring-window boundary."""
+        bal = self.balancer
+        hier = self.hierarchy
+        for th, other, mine, theirs in ((t0, t1, prio_p, prio_s),
+                                        (t1, t0, prio_s, prio_p)):
+            misses = hier.l2_miss_count(th.thread_id)
+            delta = misses - th.window_l2_misses
+            th.window_l2_misses = misses
+            retired_delta = th.retired - th.window_retired
+            th.window_retired = th.retired
+            throttle = (not other.finished and mine <= theirs
+                        and bal.window_throttle(delta, retired_delta))
+            if throttle and not th.throttled:
+                bal.stats.throttle_windows[th.thread_id] += 1
+            th.throttled = throttle
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    def all_finished(self) -> bool:
+        """True when every loaded workload has decoded its last rep."""
+        return all(th is None or th.finished for th in self._threads)
+
+    def drain(self, max_cycles: int = 1_000_000) -> int:
+        """Run until all in-flight groups retire (bounded)."""
+        ran = 0
+        while ran < max_cycles and any(
+                th is not None and th.inflight for th in self._threads):
+            ran += self.step(256)
+        return ran
+
+    def result(self, warmup: int = 1) -> CoreResult:
+        """Snapshot the measurement as a :class:`CoreResult`.
+
+        ``warmup`` repetitions are excluded from each thread's
+        steady-state metrics when enough complete repetitions exist.
+        """
+        prio_p, prio_s = self.priorities
+        out = []
+        for th in self._threads:
+            if th is None:
+                continue
+            out.append(ThreadResult(
+                warmup=warmup,
+                thread_id=th.thread_id,
+                workload=th.source.name,
+                priority=(prio_p, prio_s)[th.thread_id],
+                cycles=self._cycle,
+                retired=th.retired,
+                repetitions=th.completed_repetitions,
+                rep_end_times=tuple(th.rep_end_times),
+                rep_end_retired=tuple(th.rep_end_retired),
+                mispredicts=th.mispredicts,
+                flushes=th.flushes,
+                owned_slots=th.owned_slots,
+                wasted_slots=th.wasted_slots,
+                slots_lost_gct=th.slots_lost_gct,
+            ))
+        return CoreResult(cycles=self._cycle,
+                          priorities=(prio_p, prio_s),
+                          threads=tuple(out))

@@ -1,0 +1,118 @@
+"""Per-hardware-thread state of the SMT core."""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.isa.registers import NUM_REGS
+from repro.isa.trace import TraceSource
+from repro.priority.levels import PrivilegeLevel
+
+
+class InflightGroup:
+    """One dispatched group occupying a GCT entry.
+
+    ``completion`` is the cycle the group's last instruction finishes;
+    ``rep_done`` marks the group that ends a workload repetition;
+    ``start_pos``/``rep_index`` allow a balancer flush to rewind decode
+    to the start of a squashed group.
+    """
+
+    __slots__ = ("completion", "count", "rep_done", "start_pos", "rep_index")
+
+    def __init__(self, completion: int, count: int, rep_done: bool,
+                 start_pos: int, rep_index: int):
+        self.completion = completion
+        self.count = count
+        self.rep_done = rep_done
+        self.start_pos = start_pos
+        self.rep_index = rep_index
+
+
+class HardwareThread:
+    """Decode/execution state of one SMT context."""
+
+    def __init__(self, thread_id: int, source: TraceSource,
+                 privilege: PrivilegeLevel = PrivilegeLevel.USER):
+        self.thread_id = thread_id
+        self.source = source
+        self.privilege = privilege
+
+        self.rep_index = 0
+        self.trace = list(source.repetition(0))
+        if not self.trace:
+            raise ValueError(f"{source.name}: empty repetition trace")
+        self.pos = 0
+        self.finished = False
+
+        # Scoreboard: completion time of the latest writer per register.
+        self.reg_ready = [0] * NUM_REGS
+
+        # In-flight groups (each holds one shared-GCT entry).
+        self.inflight: deque[InflightGroup] = deque()
+        self.gct_held = 0
+
+        # Front-end blocking state.
+        self.stall_until = 0          # branch redirect / flush penalty
+        self.balancer_stalled = False
+        self.throttled = False
+        self.gated = False            # repetition gate (pipeline sync)
+
+        # Counters.
+        self.owned_slots = 0
+        self.wasted_slots = 0
+        self.slots_lost_gct = 0
+        self.decoded = 0
+        self.retired = 0
+        self.groups_dispatched = 0
+        self.mispredicts = 0
+        self.flushes = 0
+        self.flushed_instructions = 0
+
+        # FAME accounting: completion cycle and cumulative retired
+        # instruction count at the end of each complete repetition,
+        # plus the cycle each repetition's first group decoded (used to
+        # separate busy time from gate-wait time in pipelines).
+        self.rep_end_times: list[int] = []
+        self.rep_end_retired: list[int] = []
+        self.rep_start_times: list[int] = []
+
+        # Counters sampled at the last balancer window boundary.
+        self.window_l2_misses = 0
+        self.window_retired = 0
+
+    @property
+    def completed_repetitions(self) -> int:
+        """Number of fully retired workload repetitions."""
+        return len(self.rep_end_times)
+
+    def advance_repetition(self) -> None:
+        """Move decode to the next repetition of the workload.
+
+        A source may end the workload by raising ``StopIteration`` or
+        returning an empty sequence; the thread then stops decoding.
+        """
+        self.rep_index += 1
+        try:
+            nxt = self.source.repetition(self.rep_index)
+        except StopIteration:
+            nxt = ()
+        trace = list(nxt)
+        if not trace:
+            self.finished = True
+            self.trace = []
+        else:
+            self.trace = trace
+        self.pos = 0
+
+    def rewind(self, rep_index: int, pos: int) -> None:
+        """Rewind decode to ``(rep_index, pos)`` after a balancer flush."""
+        if rep_index != self.rep_index:
+            self.rep_index = rep_index
+            self.trace = list(self.source.repetition(rep_index))
+            self.finished = False
+        self.pos = pos
+
+    def __repr__(self) -> str:
+        return (f"HardwareThread({self.thread_id}, {self.source.name!r}, "
+                f"rep={self.rep_index}, pos={self.pos})")

@@ -1,0 +1,51 @@
+"""Experiment harness: one module per table/figure of the paper."""
+
+from repro.experiments.base import (
+    PRIORITY_PAIRS,
+    ExperimentContext,
+    PairMetrics,
+    ThreadMetrics,
+    priority_pair,
+)
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.modelcheck import run_modelcheck
+from repro.experiments.noise import run_noise
+from repro.experiments.registry import EXPERIMENTS, run_all, run_experiment
+from repro.experiments.sweep import PrioritySweep, SweepPoint, SweepResult
+from repro.experiments.report import ExperimentReport, render_table
+from repro.experiments.table1 import run_table1
+from repro.experiments.table3 import PAPER_TABLE3, run_table3
+from repro.experiments.table4 import run_table4
+
+__all__ = [
+    "ExperimentContext",
+    "ThreadMetrics",
+    "PairMetrics",
+    "priority_pair",
+    "PRIORITY_PAIRS",
+    "ExperimentReport",
+    "render_table",
+    "EXPERIMENTS",
+    "run_experiment",
+    "run_all",
+    "run_table1",
+    "run_table3",
+    "PAPER_TABLE3",
+    "run_figure1",
+    "run_figure2",
+    "run_figure3",
+    "run_figure4",
+    "run_figure5",
+    "run_table4",
+    "run_figure6",
+    "run_noise",
+    "run_modelcheck",
+    "PrioritySweep",
+    "SweepResult",
+    "SweepPoint",
+]

@@ -1,0 +1,43 @@
+"""Figure 2: PThread performance improvement under positive priorities.
+
+For each primary micro-benchmark, one series per co-runner: relative
+performance (execution-time speedup over the (4,4) baseline) as the
+priority difference grows from +1 to +5.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentContext
+from repro.experiments.report import ExperimentReport, render_series
+from repro.microbench import EVALUATED_BENCHMARKS
+
+POSITIVE_DIFFS = (1, 2, 3, 4, 5)
+
+
+def run_figure2(ctx: ExperimentContext | None = None,
+                benchmarks: tuple[str, ...] = EVALUATED_BENCHMARKS,
+                diffs: tuple[int, ...] = POSITIVE_DIFFS,
+                ) -> ExperimentReport:
+    """Measure the positive-priority speedup curves."""
+    ctx = ctx or ExperimentContext()
+    data: dict = {}
+    lines = []
+    for primary in benchmarks:
+        lines.append(f"-- PThread {primary} "
+                     f"(speedup of PThread vs (4,4) baseline)")
+        for secondary in benchmarks:
+            base = ctx.pair(primary, secondary, (4, 4))
+            base_time = base.primary.avg_rep_cycles
+            series = []
+            for diff in diffs:
+                pm = ctx.pair_at_diff(primary, secondary, diff)
+                series.append(base_time / pm.primary.avg_rep_cycles)
+            data[(primary, secondary)] = series
+            lines.append("  " + render_series(
+                f"vs {secondary}", [f"+{d}" for d in diffs], series))
+    return ExperimentReport(
+        experiment_id="figure2",
+        title="PThread speedup as its priority increases",
+        text="\n".join(lines),
+        data={"series": data, "diffs": diffs},
+        paper_reference="Figure 2 (a)-(f)")

@@ -1,0 +1,43 @@
+"""Figure 3: PThread performance degradation under negative priorities.
+
+For each primary micro-benchmark, one series per co-runner: the
+execution-time slowdown factor relative to the (4,4) baseline as the
+priority difference falls from -1 to -5.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentContext
+from repro.experiments.report import ExperimentReport, render_series
+from repro.microbench import EVALUATED_BENCHMARKS
+
+NEGATIVE_DIFFS = (-1, -2, -3, -4, -5)
+
+
+def run_figure3(ctx: ExperimentContext | None = None,
+                benchmarks: tuple[str, ...] = EVALUATED_BENCHMARKS,
+                diffs: tuple[int, ...] = NEGATIVE_DIFFS,
+                ) -> ExperimentReport:
+    """Measure the negative-priority slowdown curves."""
+    ctx = ctx or ExperimentContext()
+    data: dict = {}
+    lines = []
+    for primary in benchmarks:
+        lines.append(f"-- PThread {primary} "
+                     f"(slowdown of PThread vs (4,4) baseline)")
+        for secondary in benchmarks:
+            base = ctx.pair(primary, secondary, (4, 4))
+            base_time = base.primary.avg_rep_cycles
+            series = []
+            for diff in diffs:
+                pm = ctx.pair_at_diff(primary, secondary, diff)
+                series.append(pm.primary.avg_rep_cycles / base_time)
+            data[(primary, secondary)] = series
+            lines.append("  " + render_series(
+                f"vs {secondary}", [str(d) for d in diffs], series))
+    return ExperimentReport(
+        experiment_id="figure3",
+        title="PThread slowdown as its priority decreases",
+        text="\n".join(lines),
+        data={"series": data, "diffs": diffs},
+        paper_reference="Figure 3 (a)-(f)")

@@ -1,0 +1,46 @@
+"""Figure 4: total IPC throughput across the priority range.
+
+For each primary micro-benchmark, one series per co-runner: the total
+(combined) IPC relative to the (4,4) baseline over priority
+differences +4 .. -4, the paper's throughput trade-off view.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentContext
+from repro.experiments.report import ExperimentReport, render_series
+from repro.microbench import EVALUATED_BENCHMARKS
+
+THROUGHPUT_DIFFS = (4, 3, 2, 1, 0, -1, -2, -3, -4)
+
+
+def run_figure4(ctx: ExperimentContext | None = None,
+                benchmarks: tuple[str, ...] = EVALUATED_BENCHMARKS,
+                diffs: tuple[int, ...] = THROUGHPUT_DIFFS,
+                ) -> ExperimentReport:
+    """Measure relative throughput across priority differences."""
+    ctx = ctx or ExperimentContext()
+    data: dict = {}
+    lines = []
+    for primary in benchmarks:
+        lines.append(f"-- PThread {primary} "
+                     f"(total IPC relative to (4,4))")
+        base_ipc = {}
+        for secondary in benchmarks:
+            base_ipc[secondary] = ctx.pair(primary, secondary,
+                                           (4, 4)).total_ipc
+        for secondary in benchmarks:
+            series = []
+            for diff in diffs:
+                pm = ctx.pair_at_diff(primary, secondary, diff)
+                series.append(pm.total_ipc / base_ipc[secondary])
+            data[(primary, secondary)] = series
+            lines.append("  " + render_series(
+                f"vs {secondary}",
+                [f"{d:+d}" if d else "0" for d in diffs], series))
+    return ExperimentReport(
+        experiment_id="figure4",
+        title="Throughput w.r.t. execution at (4,4)",
+        text="\n".join(lines),
+        data={"series": data, "diffs": diffs},
+        paper_reference="Figure 4 (a)-(e)")

@@ -1,0 +1,89 @@
+"""Figure 6: transparent execution with a priority-1 background thread.
+
+Four panels:
+
+- (a)/(b): each foreground benchmark's execution time relative to its
+  single-thread time, with each background benchmark at priority 1 and
+  the foreground at priority 6 (a) or 5 (b);
+- (c): worst-case backgrounds -- foregrounds running over a
+  ``ldint_mem`` background as the foreground priority drops 6..2;
+- (d): the background thread's achieved IPC, averaged over foregrounds.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentContext
+from repro.experiments.report import (
+    ExperimentReport,
+    render_series,
+    render_table,
+)
+from repro.microbench import EVALUATED_BENCHMARKS
+
+#: Foreground priorities examined against a priority-1 background.
+FOREGROUND_PRIORITIES = (6, 5)
+#: Panel (c): foreground priority sweep over the worst background.
+PANEL_C_PRIORITIES = (6, 5, 4, 3, 2)
+PANEL_C_FOREGROUNDS = ("ldint_l2", "cpu_fp", "lng_chain_cpuint",
+                       "ldint_mem")
+WORST_BACKGROUND = "ldint_mem"
+
+
+def run_figure6(ctx: ExperimentContext | None = None,
+                benchmarks: tuple[str, ...] = EVALUATED_BENCHMARKS,
+                ) -> ExperimentReport:
+    """Measure all four transparent-execution panels."""
+    ctx = ctx or ExperimentContext()
+    data: dict = {"ab": {}, "c": {}, "d": {}}
+    sections = []
+
+    # Panels (a) and (b): fg relative time vs ST, bg at priority 1.
+    for fg_prio in FOREGROUND_PRIORITIES:
+        rows = []
+        for fg in benchmarks:
+            st_time = ctx.single(fg).avg_rep_cycles
+            row: list[object] = [fg]
+            for bg in benchmarks:
+                pm = ctx.pair(fg, bg, (fg_prio, 1))
+                rel = pm.primary.avg_rep_cycles / st_time
+                data["ab"][(fg_prio, fg, bg)] = rel
+                row.append(rel)
+            rows.append(row)
+        sections.append(render_table(
+            ["foreground \\ background"] + list(benchmarks), rows,
+            title=f"-- ({fg_prio},1): foreground execution time "
+                  "relative to single-thread"))
+
+    # Panel (c): fg priority sweep with the worst-case background.
+    lines = [f"-- foreground priority sweep over {WORST_BACKGROUND} "
+             "background (relative time vs ST)"]
+    for fg in PANEL_C_FOREGROUNDS:
+        st_time = ctx.single(fg).avg_rep_cycles
+        series = []
+        for fg_prio in PANEL_C_PRIORITIES:
+            pm = ctx.pair(fg, WORST_BACKGROUND, (fg_prio, 1))
+            series.append(pm.primary.avg_rep_cycles / st_time)
+        data["c"][fg] = series
+        lines.append("  " + render_series(
+            fg, [f"({p},1)" for p in PANEL_C_PRIORITIES], series))
+    sections.append("\n".join(lines))
+
+    # Panel (d): average background IPC per background benchmark.
+    rows = []
+    for bg in benchmarks:
+        for fg_prio in FOREGROUND_PRIORITIES:
+            ipcs = [ctx.pair(fg, bg, (fg_prio, 1)).secondary.ipc
+                    for fg in benchmarks]
+            avg = sum(ipcs) / len(ipcs)
+            data["d"][(bg, fg_prio)] = avg
+            rows.append((bg, f"({fg_prio},1)", avg))
+    sections.append(render_table(
+        ["background", "priorities", "avg background IPC"], rows,
+        title="-- average IPC of the background thread"))
+
+    return ExperimentReport(
+        experiment_id="figure6",
+        title="Transparent execution (background thread at priority 1)",
+        text="\n\n".join(sections),
+        data=data,
+        paper_reference="Figure 6 (a)-(d)")

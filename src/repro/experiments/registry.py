@@ -1,0 +1,55 @@
+"""Registry mapping experiment ids to their runners."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.experiments.base import ExperimentContext
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.modelcheck import run_modelcheck
+from repro.experiments.noise import run_noise
+from repro.experiments.report import ExperimentReport
+from repro.experiments.table1 import run_table1
+from repro.experiments.table3 import run_table3
+from repro.experiments.table4 import run_table4
+
+#: Every table and figure of the paper's evaluation, in paper order,
+#: followed by the extension experiments (methodology/noise and the
+#: analytical-model cross-check).
+EXPERIMENTS: dict[str, Callable[[ExperimentContext | None],
+                                ExperimentReport]] = {
+    "table1": run_table1,
+    "figure1": run_figure1,
+    "table3": run_table3,
+    "figure2": run_figure2,
+    "figure3": run_figure3,
+    "figure4": run_figure4,
+    "figure5": run_figure5,
+    "table4": run_table4,
+    "figure6": run_figure6,
+    "noise": run_noise,
+    "modelcheck": run_modelcheck,
+}
+
+
+def run_experiment(experiment_id: str,
+                   ctx: ExperimentContext | None = None,
+                   ) -> ExperimentReport:
+    """Run one experiment by id."""
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ValueError(f"unknown experiment {experiment_id!r}; "
+                         f"available: {sorted(EXPERIMENTS)}") from None
+    return runner(ctx)
+
+
+def run_all(ctx: ExperimentContext | None = None) -> list[ExperimentReport]:
+    """Run every experiment, sharing one measurement cache."""
+    ctx = ctx or ExperimentContext()
+    return [runner(ctx) for runner in EXPERIMENTS.values()]

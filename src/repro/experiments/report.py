@@ -1,0 +1,70 @@
+"""Plain-text rendering of experiment results.
+
+The harness prints the same rows/series the paper's tables and figures
+report; no plotting dependencies are required.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+
+def render_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Fixed-width ASCII table."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i])
+                           for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.rjust(widths[i]) if i else
+                               cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_series(name: str, xs: Sequence[object],
+                  ys: Sequence[float]) -> str:
+    """One figure series as ``name: x=y x=y ...``."""
+    points = " ".join(f"{x}={_fmt(y)}" for x, y in zip(xs, ys))
+    return f"{name}: {points}"
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value == float("inf"):
+            return "inf"
+        if abs(value) >= 100:
+            return f"{value:.1f}"
+        if abs(value) < 0.1:
+            return f"{value:.4f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+@dataclass
+class ExperimentReport:
+    """Outcome of one table/figure experiment."""
+
+    experiment_id: str
+    title: str
+    text: str
+    data: dict = field(default_factory=dict)
+    paper_reference: str = ""
+
+    def __str__(self) -> str:
+        header = f"== {self.experiment_id}: {self.title} =="
+        if self.paper_reference:
+            header += f"\n   (paper: {self.paper_reference})"
+        return f"{header}\n{self.text}"

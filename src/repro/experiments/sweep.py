@@ -1,0 +1,133 @@
+"""Public priority-sweep API.
+
+The figures of the paper are all views of one operation: co-schedule a
+pair, sweep the priority difference, and look at per-thread and total
+metrics.  :class:`PrioritySweep` packages that operation for library
+users so that new workload pairs can be characterized exactly the way
+the paper characterizes its micro-benchmarks::
+
+    sweep = PrioritySweep(ExperimentContext())
+    result = sweep.run("my_app", "ldint_mem", diffs=range(-3, 4))
+    print(result.render())
+    result.best_throughput()   # -> SweepPoint
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.base import (
+    PRIORITY_PAIRS,
+    ExperimentContext,
+    PairMetrics,
+    priority_pair,
+)
+from repro.experiments.report import render_table
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One measured priority setting within a sweep."""
+
+    diff: int
+    priorities: tuple[int, int]
+    primary_ipc: float
+    secondary_ipc: float
+    total_ipc: float
+    primary_speedup: float     # execution-time speedup vs (4,4)
+    secondary_slowdown: float  # execution-time slowdown vs (4,4)
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A complete priority characterization of one workload pair."""
+
+    primary: str
+    secondary: str
+    points: tuple[SweepPoint, ...] = field(default_factory=tuple)
+
+    def point(self, diff: int) -> SweepPoint:
+        """The measurement at a given priority difference."""
+        for p in self.points:
+            if p.diff == diff:
+                return p
+        raise KeyError(f"difference {diff} not in sweep")
+
+    def best_throughput(self) -> SweepPoint:
+        """The setting with the highest combined IPC."""
+        return max(self.points, key=lambda p: p.total_ipc)
+
+    def best_primary(self) -> SweepPoint:
+        """The setting where the primary thread runs fastest."""
+        return max(self.points, key=lambda p: p.primary_speedup)
+
+    def throughput_gain(self) -> float:
+        """Best total IPC relative to the (4,4) baseline (>= 1)."""
+        base = self.point(0).total_ipc
+        return self.best_throughput().total_ipc / base if base else 0.0
+
+    def saturation_diff(self, fraction: float = 0.95) -> int | None:
+        """Smallest positive difference reaching ``fraction`` of the
+        primary's maximum speedup (the paper's '+2 is usually enough'
+        analysis); None when no positive point qualifies."""
+        positive = [p for p in self.points if p.diff > 0]
+        if not positive:
+            return None
+        best = max(p.primary_speedup for p in positive)
+        for p in sorted(positive, key=lambda p: p.diff):
+            if p.primary_speedup >= fraction * best:
+                return p.diff
+        return None
+
+    def render(self) -> str:
+        """ASCII table of the sweep."""
+        rows = [(f"{p.diff:+d}" if p.diff else "0",
+                 f"({p.priorities[0]},{p.priorities[1]})",
+                 p.primary_ipc, p.secondary_ipc, p.total_ipc,
+                 p.primary_speedup, p.secondary_slowdown)
+                for p in self.points]
+        return render_table(
+            ["diff", "prios", f"{self.primary} IPC",
+             f"{self.secondary} IPC", "total IPC",
+             "P speedup", "S slowdown"],
+            rows,
+            title=f"Priority sweep: {self.primary} vs {self.secondary}")
+
+
+class PrioritySweep:
+    """Sweeps a workload pair across priority differences."""
+
+    def __init__(self, ctx: ExperimentContext | None = None):
+        self.ctx = ctx or ExperimentContext()
+
+    def run(self, primary: str, secondary: str,
+            diffs=tuple(sorted(PRIORITY_PAIRS))) -> SweepResult:
+        """Measure the pair at every difference in ``diffs``.
+
+        The baseline difference 0 is always measured (it anchors the
+        relative metrics) even when absent from ``diffs``.
+        """
+        base = self.ctx.pair_at_diff(primary, secondary, 0)
+        base_p = base.primary.avg_rep_cycles
+        base_s = base.secondary.avg_rep_cycles
+        points = []
+        for diff in sorted(set(diffs) | {0}):
+            pm = self.ctx.pair_at_diff(primary, secondary, diff)
+            points.append(self._point(diff, pm, base_p, base_s))
+        return SweepResult(primary=primary, secondary=secondary,
+                           points=tuple(points))
+
+    @staticmethod
+    def _point(diff: int, pm: PairMetrics, base_p: float,
+               base_s: float) -> SweepPoint:
+        return SweepPoint(
+            diff=diff,
+            priorities=priority_pair(diff),
+            primary_ipc=pm.primary.ipc,
+            secondary_ipc=pm.secondary.ipc,
+            total_ipc=pm.total_ipc,
+            primary_speedup=base_p / pm.primary.avg_rep_cycles
+            if pm.primary.avg_rep_cycles else float("inf"),
+            secondary_slowdown=pm.secondary.avg_rep_cycles / base_s
+            if base_s else float("inf"),
+        )

@@ -1,0 +1,63 @@
+"""Table 1: priority levels, privilege requirements, or-nop forms.
+
+Not a measurement -- a conformance artifact.  The experiment renders
+the implemented priority table and exercises the interface contract:
+each or-nop encoding round-trips, and requests are applied or silently
+ignored exactly per the privilege column.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentContext
+from repro.experiments.report import ExperimentReport, render_table
+from repro.isa.priority_ops import PRIORITY_TO_OR_REGISTER
+from repro.priority import (
+    PriorityInterface,
+    PriorityLevel,
+    PrivilegeLevel,
+    minimum_privilege,
+)
+
+_PRIVILEGE_NAMES = {
+    PrivilegeLevel.USER: "User/Supervisor",
+    PrivilegeLevel.SUPERVISOR: "Supervisor",
+    PrivilegeLevel.HYPERVISOR: "Hypervisor",
+}
+
+
+def run_table1(ctx: ExperimentContext | None = None) -> ExperimentReport:
+    """Render Table 1 and verify the interface contract."""
+    rows = []
+    conformance_failures = []
+    for level in PriorityLevel:
+        reg = PRIORITY_TO_OR_REGISTER.get(int(level))
+        nop = f"or {reg},{reg},{reg}" if reg is not None else "-"
+        privilege = minimum_privilege(level)
+        rows.append((int(level), level.describe(),
+                     _PRIVILEGE_NAMES[privilege], nop))
+        # Contract check: a request at the minimum privilege applies;
+        # one privilege below (if any) is silently ignored.
+        iface = PriorityInterface()
+        if not iface.request(0, level, privilege):
+            conformance_failures.append(f"{level}: not applied at "
+                                        f"{privilege.name}")
+        if privilege is not PrivilegeLevel.USER:
+            below = PrivilegeLevel(privilege - 1)
+            before = iface.priority(0)
+            applied = iface.request(0, level, below)
+            if applied or iface.priority(0) is not before:
+                conformance_failures.append(
+                    f"{level}: applied at insufficient {below.name}")
+
+    text = render_table(
+        ["Priority", "Priority level", "Privilege level", "or-nop inst."],
+        rows)
+    status = ("interface conformance: OK" if not conformance_failures
+              else "CONFORMANCE FAILURES: " + "; ".join(
+                  conformance_failures))
+    return ExperimentReport(
+        experiment_id="table1",
+        title="Software-controlled thread priorities in POWER5",
+        text=f"{text}\n{status}",
+        data={"rows": rows, "failures": conformance_failures},
+        paper_reference="Table 1")

@@ -1,0 +1,72 @@
+"""Table 3: micro-benchmark IPC in ST mode and in SMT at (4,4).
+
+For each of the six evaluated micro-benchmarks: its single-thread IPC,
+then -- against each co-runner -- its own IPC (``pt``) and the
+combined IPC (``tt``) at the default priorities.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentContext
+from repro.experiments.report import ExperimentReport, render_table
+from repro.microbench import EVALUATED_BENCHMARKS
+
+#: The paper's Table 3 (pt, tt) values, for side-by-side reporting.
+PAPER_TABLE3 = {
+    "ldint_l1": {"st": 2.29, "ldint_l1": (1.15, 2.31),
+                 "ldint_l2": (0.60, 0.87), "ldint_mem": (0.79, 0.81),
+                 "cpu_int": (0.73, 1.57), "cpu_fp": (0.77, 1.18),
+                 "lng_chain_cpuint": (0.42, 0.91)},
+    "ldint_l2": {"st": 0.27, "ldint_l1": (0.27, 0.87),
+                 "ldint_l2": (0.11, 0.22), "ldint_mem": (0.17, 0.19),
+                 "cpu_int": (0.27, 0.87), "cpu_fp": (0.25, 0.65),
+                 "lng_chain_cpuint": (0.27, 0.72)},
+    "ldint_mem": {"st": 0.02, "ldint_l1": (0.02, 0.81),
+                  "ldint_l2": (0.02, 0.19), "ldint_mem": (0.01, 0.02),
+                  "cpu_int": (0.02, 0.90), "cpu_fp": (0.02, 0.39),
+                  "lng_chain_cpuint": (0.02, 0.48)},
+    "cpu_int": {"st": 1.14, "ldint_l1": (0.84, 1.57),
+                "ldint_l2": (0.59, 0.87), "ldint_mem": (0.88, 0.90),
+                "cpu_int": (0.61, 1.22), "cpu_fp": (0.65, 1.06),
+                "lng_chain_cpuint": (0.43, 0.86)},
+    "cpu_fp": {"st": 0.41, "ldint_l1": (0.41, 1.18),
+               "ldint_l2": (0.39, 0.65), "ldint_mem": (0.37, 0.39),
+               "cpu_int": (0.40, 1.06), "cpu_fp": (0.36, 0.72),
+               "lng_chain_cpuint": (0.37, 0.85)},
+    "lng_chain_cpuint": {"st": 0.51, "ldint_l1": (0.49, 0.91),
+                         "ldint_l2": (0.45, 0.73),
+                         "ldint_mem": (0.47, 0.48),
+                         "cpu_int": (0.43, 0.86), "cpu_fp": (0.48, 0.85),
+                         "lng_chain_cpuint": (0.42, 0.85)},
+}
+
+
+def run_table3(ctx: ExperimentContext | None = None,
+               benchmarks: tuple[str, ...] = EVALUATED_BENCHMARKS,
+               ) -> ExperimentReport:
+    """Measure the full ST + pairwise-(4,4) IPC matrix."""
+    ctx = ctx or ExperimentContext()
+    data: dict = {"st": {}, "pairs": {}}
+    rows = []
+    for primary in benchmarks:
+        st = ctx.single(primary).ipc
+        data["st"][primary] = st
+        row: list[object] = [primary, st]
+        for secondary in benchmarks:
+            pm = ctx.pair(primary, secondary, (4, 4))
+            pt, tt = pm.primary.ipc, pm.total_ipc
+            data["pairs"][(primary, secondary)] = (pt, tt)
+            row.extend((pt, tt))
+        rows.append(row)
+    headers = ["benchmark", "IPC ST"]
+    for secondary in benchmarks:
+        headers.extend((f"{secondary[:9]}.pt", "tt"))
+    text = render_table(headers, rows,
+                        title="IPC in ST mode and SMT with priorities "
+                              "(4,4); pt = PThread IPC, tt = total IPC")
+    return ExperimentReport(
+        experiment_id="table3",
+        title="Micro-benchmark IPC, ST and SMT(4,4)",
+        text=text,
+        data=data,
+        paper_reference="Table 3")

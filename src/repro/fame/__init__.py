@@ -1,0 +1,16 @@
+"""FAME measurement methodology (paper section 4.1)."""
+
+from repro.fame.maiv import (
+    accumulated_ipc_series,
+    maiv_converged,
+    repetitions_for_maiv,
+)
+from repro.fame.runner import FameResult, FameRunner
+
+__all__ = [
+    "FameRunner",
+    "FameResult",
+    "maiv_converged",
+    "accumulated_ipc_series",
+    "repetitions_for_maiv",
+]

@@ -1,0 +1,64 @@
+"""MAIV: Maximum Allowable IPC Variation (Vera et al., PACT 2007).
+
+FAME declares a multithreaded measurement representative when each
+program's *average accumulated IPC* is within MAIV of its steady-state
+value.  Offline, the FAME authors compute the required repetition
+count per benchmark; online (as here) the equivalent test is that the
+accumulated-IPC series has stopped moving: the relative change over the
+most recent repetitions is below MAIV.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def accumulated_ipc_series(rep_end_times: Sequence[int],
+                           rep_end_retired: Sequence[int]) -> list[float]:
+    """Average accumulated IPC after each complete repetition.
+
+    Element ``k`` is total instructions retired up to the end of
+    repetition ``k`` divided by the cycles elapsed to that point --
+    the quantity FAME requires to stabilise.
+    """
+    if len(rep_end_times) != len(rep_end_retired):
+        raise ValueError("times/retired series must have equal length")
+    out = []
+    for cycles, retired in zip(rep_end_times, rep_end_retired):
+        out.append(retired / cycles if cycles else 0.0)
+    return out
+
+
+def maiv_converged(series: Sequence[float], maiv: float = 0.01,
+                   window: int = 2) -> bool:
+    """True when the accumulated-IPC series has stabilised within MAIV.
+
+    Requires the last ``window`` consecutive relative changes to all be
+    below ``maiv``.  A series shorter than ``window + 1`` repetitions
+    never qualifies.
+    """
+    if maiv <= 0:
+        raise ValueError("maiv must be positive")
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    if len(series) < window + 1:
+        return False
+    for prev, cur in zip(series[-window - 1:-1], series[-window:]):
+        if cur == 0.0:
+            return False
+        if abs(cur - prev) / cur >= maiv:
+            return False
+    return True
+
+
+def repetitions_for_maiv(series: Sequence[float], maiv: float = 0.01,
+                         window: int = 2) -> int | None:
+    """First repetition count at which the series satisfies MAIV.
+
+    Mirrors FAME's offline table of required repetitions; ``None``
+    when the series never converges within its length.
+    """
+    for k in range(window + 1, len(series) + 1):
+        if maiv_converged(series[:k], maiv, window):
+            return k
+    return None

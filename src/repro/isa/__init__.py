@@ -1,0 +1,66 @@
+"""Instruction set and trace model (see :mod:`repro.isa.instruction`)."""
+
+from repro.isa.builder import TraceBuilder, repeat_body
+from repro.isa.instruction import (
+    NO_ADDR,
+    NO_REG,
+    Instruction,
+    OpClass,
+    branch,
+    fp,
+    fx,
+    fx_mul,
+    load,
+    nop,
+    store,
+)
+from repro.isa.priority_ops import (
+    OR_REGISTER_TO_PRIORITY,
+    PRIORITY_TO_OR_REGISTER,
+    PriorityEncodingError,
+    decode_priority_nop,
+    encode_priority_nop,
+    is_priority_nop,
+)
+from repro.isa.registers import (
+    NUM_FPRS,
+    NUM_GPRS,
+    NUM_REGS,
+    fpr,
+    gpr,
+    is_fpr,
+    register_name,
+)
+from repro.isa.trace import FixedTraceSource, Trace, TraceSource
+
+__all__ = [
+    "Instruction",
+    "OpClass",
+    "NO_REG",
+    "NO_ADDR",
+    "fx",
+    "fx_mul",
+    "fp",
+    "load",
+    "store",
+    "branch",
+    "nop",
+    "TraceBuilder",
+    "repeat_body",
+    "Trace",
+    "TraceSource",
+    "FixedTraceSource",
+    "PRIORITY_TO_OR_REGISTER",
+    "OR_REGISTER_TO_PRIORITY",
+    "PriorityEncodingError",
+    "encode_priority_nop",
+    "decode_priority_nop",
+    "is_priority_nop",
+    "NUM_GPRS",
+    "NUM_FPRS",
+    "NUM_REGS",
+    "gpr",
+    "fpr",
+    "is_fpr",
+    "register_name",
+]

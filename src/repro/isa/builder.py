@@ -1,0 +1,135 @@
+"""A small DSL for assembling instruction traces.
+
+Micro-benchmarks (Table 2 of the paper) and the FFT/LU trace programs
+build their loop bodies through :class:`TraceBuilder` instead of
+hand-writing instruction tuples.  The builder tracks a cursor of emitted
+instructions and provides the same mnemonic helpers as
+:mod:`repro.isa.instruction`, plus loop-overhead emission (index update,
+compare, backward branch) matching what a compiler produces for the
+paper's C loop bodies at ``-O2``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.isa.instruction import (
+    NO_REG,
+    Instruction,
+    OpClass,
+    branch,
+    fp,
+    fx,
+    fx_mul,
+    load,
+    nop,
+    store,
+)
+from repro.isa.priority_ops import encode_priority_nop
+from repro.isa.trace import Trace
+
+
+class TraceBuilder:
+    """Accumulates instructions and produces a :class:`Trace`.
+
+    All emit methods return ``self`` so calls chain::
+
+        t = (TraceBuilder()
+             .load(dst=1, addr=0x100)
+             .fx(dst=2, src1=1)
+             .store(src=2, addr=0x100)
+             .build("ld_add_st"))
+    """
+
+    def __init__(self) -> None:
+        self._instructions: list[Instruction] = []
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def emit(self, instr: Instruction) -> "TraceBuilder":
+        """Append a pre-built instruction."""
+        self._instructions.append(instr)
+        return self
+
+    def extend(self, instrs: Sequence[Instruction]) -> "TraceBuilder":
+        """Append a sequence of pre-built instructions."""
+        self._instructions.extend(instrs)
+        return self
+
+    def fx(self, dst: int, src1: int = NO_REG,
+           src2: int = NO_REG) -> "TraceBuilder":
+        """Emit a short fixed-point op (add/sub/logical)."""
+        return self.emit(fx(dst, src1, src2))
+
+    def fx_mul(self, dst: int, src1: int = NO_REG,
+               src2: int = NO_REG) -> "TraceBuilder":
+        """Emit a fixed-point multiply."""
+        return self.emit(fx_mul(dst, src1, src2))
+
+    def fp(self, dst: int, src1: int = NO_REG,
+           src2: int = NO_REG) -> "TraceBuilder":
+        """Emit a floating-point arithmetic op."""
+        return self.emit(fp(dst, src1, src2))
+
+    def load(self, dst: int, addr: int, base: int = NO_REG) -> "TraceBuilder":
+        """Emit a load of byte address ``addr``."""
+        return self.emit(load(dst, addr, base))
+
+    def store(self, src: int, addr: int, base: int = NO_REG) -> "TraceBuilder":
+        """Emit a store to byte address ``addr``."""
+        return self.emit(store(src, addr, base))
+
+    def branch(self, taken: bool, src: int = NO_REG) -> "TraceBuilder":
+        """Emit a conditional branch with actual outcome ``taken``."""
+        return self.emit(branch(taken, src))
+
+    def nop(self) -> "TraceBuilder":
+        """Emit a plain nop."""
+        return self.emit(nop())
+
+    def priority_nop(self, priority: int) -> "TraceBuilder":
+        """Emit the ``or X,X,X`` form requesting ``priority`` (Table 1)."""
+        return self.emit(encode_priority_nop(priority))
+
+    def loop_overhead(self, counter_reg: int,
+                      taken: bool = True) -> "TraceBuilder":
+        """Emit compiler loop overhead: counter update, compare, branch.
+
+        ``taken`` is the actual outcome of the backward branch -- True
+        for every iteration but the last.
+        """
+        self.fx(counter_reg, counter_reg)           # addi ctr, ctr, 1
+        self.fx(NO_REG, counter_reg)                # cmpwi ctr, N
+        self.branch(taken, counter_reg)             # bne loop
+        return self
+
+    def build(self, name: str) -> Trace:
+        """Freeze the accumulated instructions into a :class:`Trace`."""
+        return Trace(name, self._instructions)
+
+    def instructions(self) -> list[Instruction]:
+        """A copy of the instructions emitted so far."""
+        return list(self._instructions)
+
+
+def repeat_body(name: str, body: Sequence[Instruction], iterations: int,
+                counter_reg: int, loop_overhead: bool = True) -> Trace:
+    """Unroll ``body`` ``iterations`` times into a repetition trace.
+
+    When ``loop_overhead`` is set, each iteration is followed by the
+    counter-update/compare/branch triple; the final branch falls
+    through (not taken), all earlier ones are taken, matching the
+    dynamic behaviour of the paper's micro-benchmark outer loops.
+    """
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    builder = TraceBuilder()
+    for i in range(iterations):
+        builder.extend(body)
+        if loop_overhead:
+            builder.loop_overhead(counter_reg, taken=i < iterations - 1)
+    return builder.build(name)
+
+
+__all__ = ["TraceBuilder", "repeat_body", "OpClass"]

@@ -1,0 +1,126 @@
+"""Instruction model for the trace-driven POWER5 core simulator.
+
+The simulator is *trace driven*: workloads are sequences of
+:class:`Instruction` records rather than encoded PowerPC binaries.  Each
+record carries exactly the information the timing model needs -- the
+operation class (which selects a functional unit and a latency), the
+register dependences, and, for memory and branch operations, the effective
+address or the branch outcome.
+
+Instructions are :class:`typing.NamedTuple` instances so that the hot
+simulation loop can treat them as plain tuples (indexed access, zero
+attribute-lookup overhead) while user code keeps named fields.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import NamedTuple
+
+
+class OpClass(enum.IntEnum):
+    """Operation classes recognised by the timing model.
+
+    The classes map one-to-one onto POWER5 issue resources:
+
+    - ``FX`` / ``FX_MUL`` issue to the two fixed-point units (FXU);
+      multiplies are long-latency.
+    - ``FP`` issues to the two floating-point units (FPU).
+    - ``LOAD`` / ``STORE`` issue to the two load-store units (LSU);
+      loads probe the cache hierarchy for their latency.
+    - ``BRANCH`` issues to the branch unit (BXU) and consults the BHT.
+    - ``NOP`` occupies a decode slot but no functional unit.
+    - ``PRIO_NOP`` is the ``or X,X,X`` priority-setting form of Table 1:
+      it executes as a nop whose side effect is a thread-priority change
+      (or no side effect at all when the requesting context lacks the
+      privilege, exactly as on real hardware).
+    """
+
+    FX = 0
+    FX_MUL = 1
+    FP = 2
+    LOAD = 3
+    STORE = 4
+    BRANCH = 5
+    NOP = 6
+    PRIO_NOP = 7
+
+
+#: Register id used to mean "no register operand".
+NO_REG = -1
+
+#: Address value used to mean "not a memory operation".
+NO_ADDR = -1
+
+
+class Instruction(NamedTuple):
+    """One dynamic instruction in a trace.
+
+    Attributes:
+        op: operation class (:class:`OpClass`).
+        dst: destination register id, or :data:`NO_REG`.
+        src1: first source register id, or :data:`NO_REG`.
+        src2: second source register id, or :data:`NO_REG`.
+        addr: effective byte address for ``LOAD``/``STORE``,
+            else :data:`NO_ADDR`.
+        aux: class-specific immediate.  For ``BRANCH`` it is the actual
+            outcome (1 taken / 0 not-taken) used to train and check the
+            predictor.  For ``PRIO_NOP`` it is the *encoded register
+            number* of the ``or X,X,X`` form (see
+            :mod:`repro.isa.priority_ops`).
+    """
+
+    op: OpClass
+    dst: int = NO_REG
+    src1: int = NO_REG
+    src2: int = NO_REG
+    addr: int = NO_ADDR
+    aux: int = 0
+
+    def is_memory(self) -> bool:
+        """Return True for loads and stores."""
+        return self.op is OpClass.LOAD or self.op is OpClass.STORE
+
+    def reads(self) -> tuple[int, ...]:
+        """Register ids this instruction reads (may be empty)."""
+        return tuple(r for r in (self.src1, self.src2) if r != NO_REG)
+
+    def writes(self) -> tuple[int, ...]:
+        """Register ids this instruction writes (empty or one element)."""
+        return (self.dst,) if self.dst != NO_REG else ()
+
+
+def fx(dst: int, src1: int = NO_REG, src2: int = NO_REG) -> Instruction:
+    """Build a short-latency fixed-point instruction (add/sub/logical)."""
+    return Instruction(OpClass.FX, dst, src1, src2)
+
+
+def fx_mul(dst: int, src1: int = NO_REG, src2: int = NO_REG) -> Instruction:
+    """Build a fixed-point multiply (long FXU latency)."""
+    return Instruction(OpClass.FX_MUL, dst, src1, src2)
+
+
+def fp(dst: int, src1: int = NO_REG, src2: int = NO_REG) -> Instruction:
+    """Build a floating-point arithmetic instruction."""
+    return Instruction(OpClass.FP, dst, src1, src2)
+
+
+def load(dst: int, addr: int, base: int = NO_REG) -> Instruction:
+    """Build a load from byte address ``addr`` into register ``dst``."""
+    return Instruction(OpClass.LOAD, dst, base, NO_REG, addr)
+
+
+def store(src: int, addr: int, base: int = NO_REG) -> Instruction:
+    """Build a store of register ``src`` to byte address ``addr``."""
+    return Instruction(OpClass.STORE, NO_REG, src, base, addr)
+
+
+def branch(taken: bool, src: int = NO_REG) -> Instruction:
+    """Build a conditional branch with actual outcome ``taken``."""
+    return Instruction(OpClass.BRANCH, NO_REG, src, NO_REG, NO_ADDR,
+                       1 if taken else 0)
+
+
+def nop() -> Instruction:
+    """Build a plain nop (decode slot only)."""
+    return Instruction(OpClass.NOP)

@@ -1,0 +1,45 @@
+"""Architectural register model.
+
+The timing model only needs register *identities* for dependence
+tracking, not values.  We follow the PowerPC split register file:
+32 general-purpose registers (GPRs) and 32 floating-point registers
+(FPRs), addressed by a single flat id space 0..63 so the scoreboard in
+the core is one array.
+"""
+
+from __future__ import annotations
+
+#: Number of general-purpose registers.
+NUM_GPRS = 32
+#: Number of floating-point registers.
+NUM_FPRS = 32
+#: Total architectural registers tracked by the scoreboard.
+NUM_REGS = NUM_GPRS + NUM_FPRS
+
+
+def gpr(n: int) -> int:
+    """Flat register id of general-purpose register ``n`` (0..31)."""
+    if not 0 <= n < NUM_GPRS:
+        raise ValueError(f"GPR index out of range: {n}")
+    return n
+
+
+def fpr(n: int) -> int:
+    """Flat register id of floating-point register ``n`` (0..31)."""
+    if not 0 <= n < NUM_FPRS:
+        raise ValueError(f"FPR index out of range: {n}")
+    return NUM_GPRS + n
+
+
+def is_fpr(reg: int) -> bool:
+    """True when the flat id ``reg`` names a floating-point register."""
+    return NUM_GPRS <= reg < NUM_REGS
+
+
+def register_name(reg: int) -> str:
+    """Human-readable name (``r5`` / ``f12``) for a flat register id."""
+    if 0 <= reg < NUM_GPRS:
+        return f"r{reg}"
+    if NUM_GPRS <= reg < NUM_REGS:
+        return f"f{reg - NUM_GPRS}"
+    raise ValueError(f"register id out of range: {reg}")

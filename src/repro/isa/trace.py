@@ -1,0 +1,117 @@
+"""Traces and trace sources.
+
+A :class:`Trace` is an immutable sequence of :class:`Instruction`
+records with a name and derived statistics.  A :class:`TraceSource` is
+anything the FAME runner can measure: it produces one *repetition*
+(one complete execution of the workload, Figure 1 of the paper) at a
+time.  Micro-benchmarks and the case-study workloads all implement this
+protocol.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterator, Sequence
+from typing import Protocol, runtime_checkable
+
+from repro.isa.instruction import Instruction, OpClass
+
+
+class Trace(Sequence[Instruction]):
+    """An immutable, named instruction sequence.
+
+    Supports the standard sequence protocol plus concatenation and
+    repetition, so loop bodies compose naturally::
+
+        body = Trace("body", [...])
+        rep = body * 100
+    """
+
+    __slots__ = ("_name", "_instructions")
+
+    def __init__(self, name: str, instructions: Sequence[Instruction]):
+        self._name = name
+        self._instructions = tuple(instructions)
+
+    @property
+    def name(self) -> str:
+        """Trace name (used in reports and experiment keys)."""
+        return self._name
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def __getitem__(self, index):  # type: ignore[override]
+        if isinstance(index, slice):
+            return Trace(self._name, self._instructions[index])
+        return self._instructions[index]
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self._instructions)
+
+    def __add__(self, other: "Trace") -> "Trace":
+        if not isinstance(other, Trace):
+            return NotImplemented
+        return Trace(f"{self._name}+{other._name}",
+                     self._instructions + other._instructions)
+
+    def __mul__(self, times: int) -> "Trace":
+        if not isinstance(times, int):
+            return NotImplemented
+        if times < 0:
+            raise ValueError("repetition count must be non-negative")
+        return Trace(self._name, self._instructions * times)
+
+    __rmul__ = __mul__
+
+    def __repr__(self) -> str:
+        return f"Trace({self._name!r}, {len(self)} instructions)"
+
+    def mix(self) -> dict[OpClass, int]:
+        """Instruction count per op class."""
+        return dict(Counter(instr.op for instr in self._instructions))
+
+    def memory_fraction(self) -> float:
+        """Fraction of instructions that are loads or stores."""
+        if not self._instructions:
+            return 0.0
+        n = sum(1 for i in self._instructions if i.is_memory())
+        return n / len(self._instructions)
+
+    def branch_fraction(self) -> float:
+        """Fraction of instructions that are branches."""
+        if not self._instructions:
+            return 0.0
+        n = sum(1 for i in self._instructions if i.op is OpClass.BRANCH)
+        return n / len(self._instructions)
+
+
+@runtime_checkable
+class TraceSource(Protocol):
+    """A workload the core can execute and the FAME runner can measure.
+
+    ``repetition(rep_index)`` returns the instruction sequence of the
+    ``rep_index``-th complete execution of the workload.  Sources must
+    be deterministic in ``rep_index`` so experiments are reproducible;
+    sources that want run-to-run variation derive it from the index.
+    """
+
+    name: str
+
+    def repetition(self, rep_index: int) -> Sequence[Instruction]:
+        """Instructions of one complete execution of the workload."""
+        ...
+
+
+class FixedTraceSource:
+    """A :class:`TraceSource` that replays the same trace every repetition."""
+
+    def __init__(self, trace: Trace):
+        self._trace = trace
+        self.name = trace.name
+
+    def repetition(self, rep_index: int) -> Sequence[Instruction]:
+        return self._trace
+
+    def __repr__(self) -> str:
+        return f"FixedTraceSource({self._trace!r})"

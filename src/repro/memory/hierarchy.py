@@ -1,0 +1,128 @@
+"""Memory-hierarchy facade: TLB -> L1D -> L2 -> L3 -> DRAM.
+
+The hierarchy is fully shared between the two SMT threads, as on
+POWER5: capacity/conflict interference in every cache level, a shared
+load-miss queue, and a serialized DRAM bus.  ``load`` returns the
+data-ready time of an access issued at a given cycle; ``store`` models
+a store-queue-absorbed write (write-allocate into L1D, fixed latency).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.config import CoreConfig
+from repro.memory.cache import SetAssociativeCache
+from repro.memory.dram import DRAM
+from repro.memory.lmq import LoadMissQueue
+from repro.memory.tlb import TLB
+
+
+class MemLevel(enum.IntEnum):
+    """Hierarchy level that serviced an access."""
+
+    L1 = 1
+    L2 = 2
+    L3 = 3
+    MEM = 4
+
+
+class LoadResult:
+    """Outcome of a load: data-ready time and servicing level."""
+
+    __slots__ = ("complete", "level")
+
+    def __init__(self, complete: int, level: MemLevel):
+        self.complete = complete
+        self.level = level
+
+    def __repr__(self) -> str:
+        return f"LoadResult(complete={self.complete}, level={self.level.name})"
+
+
+class MemoryHierarchy:
+    """Shared TLB, three cache levels, LMQ and DRAM."""
+
+    def __init__(self, config: CoreConfig):
+        self.config = config
+        self.tlb = TLB(config.tlb)
+        self.l1d = SetAssociativeCache(config.l1d, "L1D")
+        self.l2 = SetAssociativeCache(config.l2, "L2")
+        self.l3 = SetAssociativeCache(config.l3, "L3")
+        self.lmq = LoadMissQueue(config.memory.lmq_entries)
+        self.dram = DRAM(config.memory)
+        # Per-thread count of loads serviced by each level (for the
+        # balancer's L2-miss monitoring and for reports).
+        self.level_counts = {level: [0, 0] for level in MemLevel}
+
+    def reset(self) -> None:
+        """Invalidate all state and statistics."""
+        self.tlb.reset()
+        self.l1d.reset()
+        self.l2.reset()
+        self.l3.reset()
+        self.lmq.reset()
+        self.dram.reset()
+        for counts in self.level_counts.values():
+            counts[0] = counts[1] = 0
+
+    def load(self, addr: int, issue: int, thread_id: int = 0,
+             now: int | None = None) -> LoadResult:
+        """Schedule a load issuing at cycle ``issue``.
+
+        Returns the data-ready time and the servicing level.  ``now``
+        is the core's current cycle (decode time), used by the LMQ and
+        DRAM bus to prune expired occupancy records; it defaults to
+        ``issue`` for standalone use.
+        """
+        if now is None:
+            now = issue
+        latency = 0
+        if not self.tlb.access(addr, issue, thread_id):
+            latency += self.config.tlb.miss_penalty
+        if self.l1d.access(addr, issue, thread_id):
+            self.level_counts[MemLevel.L1][thread_id] += 1
+            return LoadResult(issue + latency + self.config.l1d.latency,
+                              MemLevel.L1)
+        # L1 miss: probe the lower levels to learn the servicing level
+        # (and its duration), then reserve an LMQ slot for it.
+        want = issue + latency
+        if self.l2.access(addr, want, thread_id):
+            level = MemLevel.L2
+            duration = self.config.l2.latency
+        elif self.l3.access(addr, want, thread_id):
+            level = MemLevel.L3
+            duration = self.config.l3.latency
+        else:
+            level = MemLevel.MEM
+            duration = (self.config.memory.dram_latency
+                        + self.config.memory.dram_bus_gap)
+        start = self.lmq.acquire(want, now, thread_id, duration)
+        if level is MemLevel.MEM:
+            complete = self.dram.access(start, now, thread_id)
+        else:
+            complete = start + duration
+        self.lmq.fill(complete)
+        self.level_counts[level][thread_id] += 1
+        return LoadResult(complete, level)
+
+    def store(self, addr: int, now: int, thread_id: int = 0) -> int:
+        """Issue a store at cycle ``now``; returns completion time.
+
+        Stores retire through the store queue: they allocate into L1D
+        (keeping cache contents consistent with the load stream) but do
+        not stall on lower levels -- POWER5's store queue hides the
+        miss latency from the committing thread.
+        """
+        self.tlb.access(addr, now, thread_id)
+        if not self.l1d.access(addr, now, thread_id):
+            # Fill the line into L2/L3 as well so later loads of this
+            # line see it cached, without charging the store latency.
+            if not self.l2.access(addr, now, thread_id):
+                self.l3.access(addr, now, thread_id)
+        return now + self.config.store_latency
+
+    def l2_miss_count(self, thread_id: int) -> int:
+        """Loads by ``thread_id`` serviced below L2 (i.e. L2 misses)."""
+        return (self.level_counts[MemLevel.L3][thread_id]
+                + self.level_counts[MemLevel.MEM][thread_id])

@@ -1,0 +1,95 @@
+"""Load-miss queue (LMQ) model.
+
+POWER5 tracks outstanding L1D misses in a small queue shared by the two
+SMT threads.  When all entries are busy, further misses wait: a thread
+with many in-flight misses starves its sibling's memory parallelism.
+
+A slot is busy during the *interval* an actual miss is outstanding
+(issue to fill).  The trace-driven core schedules loads at their
+operand-ready times, which may lie in the future, so the queue is an
+interval scheduler: a miss that wants to issue at cycle ``t`` occupies
+a slot at the earliest cycle >= ``t`` when fewer than ``entries``
+intervals overlap -- a far-future chain load never blocks a miss that
+is ready now.
+"""
+
+from __future__ import annotations
+
+
+class LoadMissQueue:
+    """Fixed number of outstanding-miss slots, shared by both threads."""
+
+    def __init__(self, entries: int):
+        if entries < 1:
+            raise ValueError("LMQ needs at least one entry")
+        self.entries = entries
+        # Occupancy intervals [start, end) of outstanding misses.
+        # Bounded by the in-flight window (GCT), so linear scans are
+        # cheap; entries ending before the core's current cycle are
+        # pruned on each acquire.
+        self._intervals: list[tuple[int, int]] = []
+        self._pending_start = 0
+        self.acquisitions = 0
+        self.total_wait_cycles = 0
+        self.thread_acquisitions = [0, 0]
+
+    def reset(self) -> None:
+        """Free all slots and zero statistics."""
+        self._intervals.clear()
+        self._pending_start = 0
+        self.acquisitions = 0
+        self.total_wait_cycles = 0
+        self.thread_acquisitions = [0, 0]
+
+    def occupancy(self, at: int) -> int:
+        """Number of slots busy at cycle ``at``."""
+        return sum(1 for s, e in self._intervals if s <= at < e)
+
+    def is_full(self, at: int) -> bool:
+        """True when no slot is free at cycle ``at``."""
+        return self.occupancy(at) >= self.entries
+
+    def acquire(self, start: int, now: int, thread_id: int = 0,
+                duration: int = 1) -> int:
+        """Reserve a slot over ``[t, t+duration)`` for the first
+        feasible ``t >= start``.
+
+        Feasible means the whole reserved interval keeps the number of
+        concurrently outstanding misses at or under ``entries``.
+        ``now`` is the core's current cycle, used only to prune expired
+        intervals (every future query issues at or after ``now``).
+        The caller must follow up with :meth:`fill` to record the
+        actual release time.
+        """
+        self.acquisitions += 1
+        self.thread_acquisitions[thread_id] += 1
+        intervals = self._intervals
+        if len(intervals) > 4 * self.entries:
+            intervals[:] = [p for p in intervals if p[1] > now]
+        t = start
+        while True:
+            retry = self._conflict(t, t + max(1, duration))
+            if retry is None:
+                break
+            t = retry
+        self.total_wait_cycles += t - start
+        self._pending_start = t
+        return t
+
+    def _conflict(self, begin: int, end: int) -> int | None:
+        """First retry time if ``[begin, end)`` overflows capacity."""
+        intervals = self._intervals
+        points = [begin]
+        points.extend(a for a, b in intervals if begin < a < end)
+        for p in sorted(points):
+            active = [b for a, b in intervals if a <= p < b]
+            if len(active) >= self.entries:
+                return min(active)
+        return None
+
+    def fill(self, completion: int) -> None:
+        """Record the interval of the miss most recently acquired."""
+        self._intervals.append((self._pending_start, completion))
+
+    def __repr__(self) -> str:
+        return f"LoadMissQueue(entries={self.entries})"

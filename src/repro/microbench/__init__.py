@@ -1,0 +1,34 @@
+"""The Table 2 micro-benchmark suite."""
+
+from repro.microbench.base import BenchGroup, MicroBenchmark
+from repro.microbench.branch import BranchBenchmark
+from repro.microbench.floating import CpuFp
+from repro.microbench.integer import (
+    CpuInt,
+    CpuIntAdd,
+    CpuIntMul,
+    LongChainCpuInt,
+)
+from repro.microbench.memory import LoadBenchmark
+from repro.microbench.suite import (
+    EVALUATED_BENCHMARKS,
+    MICROBENCHMARKS,
+    benchmarks_in_group,
+    make_microbenchmark,
+)
+
+__all__ = [
+    "MicroBenchmark",
+    "BenchGroup",
+    "CpuInt",
+    "CpuIntAdd",
+    "CpuIntMul",
+    "LongChainCpuInt",
+    "CpuFp",
+    "LoadBenchmark",
+    "BranchBenchmark",
+    "MICROBENCHMARKS",
+    "EVALUATED_BENCHMARKS",
+    "make_microbenchmark",
+    "benchmarks_in_group",
+]

@@ -1,0 +1,80 @@
+"""Base machinery for the Table 2 micro-benchmarks.
+
+Each micro-benchmark mirrors the paper's construction: a loop body
+(one *micro-iteration*) repeated ``iterations`` times forms one
+*repetition* -- the unit FAME counts.  Bodies are generated as
+instruction traces equivalent to what ``xlc -O2`` emits for the C
+sources in Table 2 (loop-invariant subexpressions hoisted, loop
+overhead of counter-update/compare/branch).
+
+Benchmarks are parameterised by the machine configuration: the memory
+kernels derive their working-set sizes from the cache geometry so that
+"always hits in L2" style guarantees hold on any preset, and
+``base_address`` lets two co-scheduled copies live in distinct address
+ranges (separate processes on the real machine).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Sequence
+
+from repro.config import POWER5, CoreConfig
+from repro.isa.instruction import Instruction
+from repro.isa.trace import Trace
+
+
+class BenchGroup(enum.Enum):
+    """The four micro-benchmark groups of Table 2."""
+
+    INTEGER = "Integer"
+    FLOATING_POINT = "Floating Point"
+    MEMORY = "Memory"
+    BRANCH = "Branch"
+
+
+class MicroBenchmark:
+    """A Table 2 micro-benchmark: a named, deterministic trace source."""
+
+    group: BenchGroup = BenchGroup.INTEGER
+
+    def __init__(self, name: str, config: CoreConfig | None = None,
+                 base_address: int = 0, iterations: int | None = None):
+        self.name = name
+        self.config = config or POWER5.small()
+        self.base_address = base_address
+        if iterations is None:
+            iterations = self.default_iterations()
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        self.iterations = iterations
+        self._trace: Trace | None = None
+
+    def default_iterations(self) -> int:
+        """Micro-iterations per repetition (subclasses may override)."""
+        return 16
+
+    def repetition(self, rep_index: int) -> Sequence[Instruction]:
+        """One complete execution of the benchmark (TraceSource API).
+
+        The default is a fixed trace built once; data-dependent
+        benchmarks (``br_miss``) override to vary with ``rep_index``.
+        """
+        if self._trace is None:
+            self._trace = self.build()
+        return self._trace
+
+    def build(self) -> Trace:
+        """Construct the repetition trace.  Subclasses implement."""
+        raise NotImplementedError
+
+    def trace(self) -> Trace:
+        """The (cached) repetition trace as a :class:`Trace`."""
+        if self._trace is None:
+            self._trace = self.build()
+        return self._trace
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}({self.name!r}, "
+                f"iterations={self.iterations}, "
+                f"base=0x{self.base_address:x})")

@@ -1,0 +1,62 @@
+"""Branch-group micro-benchmarks (Table 2).
+
+``if (a[s] == 0) a = a + 1; else a = a - 1`` over 28 lines.  For
+``br_hit`` the tested array is all zeros, so every conditional goes the
+same way and the BHT predicts it; for ``br_miss`` the tested element
+varies pseudo-randomly with the outer iteration *and the repetition*,
+defeating the 2-bit counters (about half the branches mispredict).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.isa.builder import TraceBuilder
+from repro.isa.trace import Trace
+from repro.microbench.base import BenchGroup, MicroBenchmark
+
+_R_CTR = 6
+_R_VAL = 20     # loaded a[s]
+_R_CMP = 21     # comparison temp
+_R_ACC = 2      # scalar a
+
+
+class BranchBenchmark(MicroBenchmark):
+    """``br_hit`` / ``br_miss``: load, compare, branch, adjust."""
+
+    group = BenchGroup.BRANCH
+    LINES = 28
+
+    def __init__(self, name: str, predictable: bool, config=None,
+                 base_address: int = 0, iterations: int | None = None):
+        self.predictable = predictable
+        super().__init__(name, config, base_address, iterations)
+
+    def default_iterations(self) -> int:
+        return 16
+
+    def repetition(self, rep_index: int):
+        if self.predictable:
+            return super().repetition(rep_index)
+        # br_miss: the branch outcomes differ between repetitions so
+        # the predictor cannot train across FAME repetitions, exactly
+        # like data-dependent branches over a random array.
+        return self._build_random(rep_index)
+
+    def build(self) -> Trace:
+        return self._build_random(0)
+
+    def _build_random(self, rep_index: int) -> Trace:
+        rng = random.Random(0xB4A2C5 ^ rep_index)
+        b = TraceBuilder()
+        base = self.base_address
+        for i in range(self.iterations):
+            for line in range(self.LINES):
+                addr = base + 8 * (line + 1)
+                b.load(_R_VAL, addr)            # a[s]
+                b.fx(_R_CMP, _R_VAL)            # compare with 0
+                taken = True if self.predictable else rng.random() < 0.5
+                b.branch(taken, _R_CMP)         # if (a[s] == 0)
+                b.fx(_R_ACC, _R_ACC)            # a = a +/- 1
+            b.loop_overhead(_R_CTR, taken=i < self.iterations - 1)
+        return b.build(self.name)

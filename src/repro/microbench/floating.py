@@ -1,0 +1,44 @@
+"""Floating-point micro-benchmark ``cpu_fp`` (Table 2).
+
+``a += (tmp * (tmp - 1.0)) - xi * tmp`` over 54 lines with
+``tmp = iter * 1.0``.  The serial accumulate into ``a`` runs at FPU
+latency, so the kernel is latency-bound with moderate IPC -- the
+paper's low-IPC non-memory thread, which benefits least from extra
+decode slots.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import TraceBuilder
+from repro.isa.registers import fpr
+from repro.isa.trace import Trace
+from repro.microbench.base import BenchGroup, MicroBenchmark
+
+_F_TMP = fpr(1)    # tmp = iter * 1.0
+_F_ACC = fpr(2)    # accumulator a
+_F_T1 = fpr(3)     # hoisted tmp * (tmp - 1.0)
+_F_T2 = fpr(4)     # per-line xi * tmp
+_F_T3 = fpr(5)     # per-line t1 - t2
+_R_CTR = 6         # outer loop counter (GPR)
+
+
+class CpuFp(MicroBenchmark):
+    """``cpu_fp``: FP multiply/subtract feeding a serial FP accumulate."""
+
+    group = BenchGroup.FLOATING_POINT
+    LINES = 54
+
+    def default_iterations(self) -> int:
+        return 16
+
+    def build(self) -> Trace:
+        b = TraceBuilder()
+        for i in range(self.iterations):
+            b.fp(_F_TMP)                        # tmp = iter * 1.0
+            b.fp(_F_T1, _F_TMP, _F_TMP)         # hoisted tmp * (tmp - 1.0)
+            for _ in range(self.LINES):
+                b.fp(_F_T2, _F_TMP)             # t2 = xi * tmp
+                b.fp(_F_T3, _F_T1, _F_T2)       # t3 = t1 - t2
+                b.fp(_F_ACC, _F_ACC, _F_T3)     # a += t3 (serial chain)
+            b.loop_overhead(_R_CTR, taken=i < self.iterations - 1)
+        return b.build(self.name)

@@ -1,0 +1,141 @@
+"""Integer-group micro-benchmarks (Table 2).
+
+``cpu_int``, ``cpu_int_add`` and ``cpu_int_mul`` are short-latency
+integer kernels; ``lng_chain_cpuint`` builds a single long dependency
+chain threaded through ten rotating accumulators across 50 body lines.
+The paper reports that ``cpu_int_add``/``cpu_int_mul`` behave like
+``cpu_int``; all are implemented, the evaluation uses ``cpu_int`` and
+``lng_chain_cpuint``.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import TraceBuilder
+from repro.isa.trace import Trace
+from repro.microbench.base import BenchGroup, MicroBenchmark
+
+# Register conventions shared by the integer kernels.
+_R_ITER = 1        # loop induction variable `iter`
+_R_ACC = 2         # accumulator `a`
+_R_T1 = 3          # loop-invariant (iter * (iter - 1)), hoisted by -O2
+_R_T2 = 4          # per-line temporary xi * iter
+_R_T3 = 5          # per-line temporary t1 - t2
+_R_CTR = 6         # outer loop counter
+_R_CHAIN0 = 10     # first of the rotating chain accumulators
+
+
+class CpuInt(MicroBenchmark):
+    """``cpu_int``: a += (iter * (iter - 1)) - xi * iter, 54 lines.
+
+    Each line is a multiply immediately consumed by an accumulate; the
+    accumulator alternates between the two halves of the expression, so
+    the kernel has enough ILP to be limited by the *decode* rate rather
+    than the dependence chain.  This is the defining property of the
+    paper's cpu-bound threads: their IPC halves when co-scheduled
+    (Table 3: 1.14 -> 0.61) and scales almost linearly with the decode
+    slots that software priorities grant (Figure 2c).
+    """
+
+    group = BenchGroup.INTEGER
+    LINES = 54
+
+    def default_iterations(self) -> int:
+        return 16
+
+    def build(self) -> Trace:
+        b = TraceBuilder()
+        accs = (_R_ACC, _R_T1)  # a's two partial sums, combined at end
+        for i in range(self.iterations):
+            for line in range(self.LINES):
+                acc = accs[line % 2]
+                b.fx_mul(_R_T2, _R_ITER)        # xi * iter
+                b.fx(acc, acc, _R_T2)           # partial accumulate
+            b.fx(_R_ACC, _R_ACC, _R_T1)         # combine partial sums
+            b.loop_overhead(_R_CTR, taken=i < self.iterations - 1)
+        return b.build(self.name)
+
+
+class CpuIntAdd(MicroBenchmark):
+    """``cpu_int_add``: a += (iter + iterp) - xi + iter, add-only.
+
+    Same structure as ``cpu_int`` with the multiply replaced by an
+    add; the paper reports it behaves like ``cpu_int`` (section 4.2),
+    and the alternating partial sums preserve that equivalence here.
+    """
+
+    group = BenchGroup.INTEGER
+    LINES = 54
+
+    def default_iterations(self) -> int:
+        return 16
+
+    def build(self) -> Trace:
+        b = TraceBuilder()
+        accs = (_R_ACC, _R_T1)
+        iterp = _R_T3
+        for i in range(self.iterations):
+            for line in range(self.LINES):
+                acc = accs[line % 2]
+                b.fx(_R_T2, _R_ITER, iterp)     # iter + iterp - xi
+                b.fx(acc, acc, _R_T2)           # partial accumulate
+            b.fx(iterp, _R_ITER)                # iterp = iter - 1
+            b.fx(_R_ACC, _R_ACC, _R_T1)         # combine partial sums
+            b.loop_overhead(_R_CTR, taken=i < self.iterations - 1)
+        return b.build(self.name)
+
+
+class CpuIntMul(MicroBenchmark):
+    """``cpu_int_mul``: a = (iter * iter) * xi * iter, multiply-only.
+
+    ``a`` is overwritten (not accumulated) so the lines are mutually
+    independent multiply chains -- throughput-bound on the FXUs.
+    """
+
+    group = BenchGroup.INTEGER
+    LINES = 54
+
+    def default_iterations(self) -> int:
+        return 16
+
+    def build(self) -> Trace:
+        b = TraceBuilder()
+        for i in range(self.iterations):
+            for _ in range(self.LINES):
+                b.fx_mul(_R_T2, _R_ITER, _R_ITER)  # iter * iter
+                b.fx_mul(_R_T3, _R_T2)             # * xi
+                b.fx_mul(_R_ACC, _R_T3, _R_ITER)   # * iter
+            b.loop_overhead(_R_CTR, taken=i < self.iterations - 1)
+        return b.build(self.name)
+
+
+class LongChainCpuInt(MicroBenchmark):
+    """``lng_chain_cpuint``: one dependency chain through 50 lines.
+
+    Ten accumulators ``a..j`` rotate; every line consumes the previous
+    line's accumulator, so the whole body is a serial chain whose per-
+    line latency includes a multiply -- low IPC, insensitive to extra
+    decode bandwidth, exactly the "long dependency chain" behaviour the
+    paper contrasts against ``cpu_int``.
+    """
+
+    group = BenchGroup.INTEGER
+    LINES = 50
+    ACCUMULATORS = 10
+
+    def default_iterations(self) -> int:
+        return 16
+
+    def build(self) -> Trace:
+        b = TraceBuilder()
+        for i in range(self.iterations):
+            prev = _R_CHAIN0 + self.ACCUMULATORS - 1
+            for line in range(self.LINES):
+                acc = _R_CHAIN0 + line % self.ACCUMULATORS
+                # The chain runs through a multiply and the accumulate:
+                # per-line latency ~ fx_mul_latency + fx_latency.
+                b.fx_mul(_R_T2, prev, _R_ITER)  # prev * xi  (chain)
+                b.fx(_R_T3, _R_T1)              # t1 - ...   (independent)
+                b.fx(acc, acc, _R_T2)           # acc += t2  (chain)
+                prev = acc
+            b.loop_overhead(_R_CTR, taken=i < self.iterations - 1)
+        return b.build(self.name)

@@ -1,0 +1,128 @@
+"""Memory-group micro-benchmarks (Table 2).
+
+``ldint_l1``, ``ldint_l2``, ``ldint_l3``, ``ldint_mem`` (and the
+``ldfp_*`` float variants) execute ``a[i+s] = a[i+s] + 1`` walks whose
+working-set size is derived from the cache geometry so that every load
+hits exactly the intended level:
+
+- ``l1``: a small contiguous footprint well under the L1D capacity ->
+  L1 hits; loads are mutually independent (high throughput, the
+  paper's highest-IPC kernel);
+- ``l2``/``l3``/``mem``: a *conflict-set walk*.  The stride is the
+  least common multiple of the set-spans of every level the kernel
+  must defeat, so all accesses land in the same set(s) of those
+  levels; walking more lines per set than the associativity in cyclic
+  LRU order guarantees a miss on every access, while the per-set line
+  count at the target level stays under its associativity so the walk
+  is resident there.  This is how "always hits in the desired cache
+  level" is engineered with a compact trace, and two co-scheduled
+  copies of the same kernel overflow the shared target sets and thrash
+  each other -- the interference the paper measures for ldint_l2
+  pairs.
+
+The l2/l3/mem kernels chase ``chains`` dependent pointer chains
+(address depends on the previous load of the chain), bounding their
+memory-level parallelism like the paper's latency-bound kernels.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.isa.builder import TraceBuilder
+from repro.isa.registers import fpr
+from repro.isa.trace import Trace
+from repro.microbench.base import BenchGroup, MicroBenchmark
+
+_R_CTR = 6          # loop counter
+_R_VAL = 20         # loaded value (independent kernels)
+_R_CHAIN0 = 16      # first chain pointer register
+_F_VAL = fpr(20)    # loaded value, fp variants
+_F_CHAIN0 = fpr(16)
+
+#: Loop overhead is emitted every this many elements (the paper's
+#: bodies use s in {1..28}).
+_ELEMENTS_PER_LINE = 28
+
+class LoadBenchmark(MicroBenchmark):
+    """A ld{int,fp}_{l1,l2,l3,mem} kernel."""
+
+    group = BenchGroup.MEMORY
+
+    #: Parallel dependent chains per level (0 = independent loads).
+    CHAINS = {"l1": 0, "l2": 2, "l3": 2, "mem": 2}
+
+    def __init__(self, name: str, level: str, fp: bool = False,
+                 config=None, base_address: int = 0,
+                 iterations: int | None = None):
+        if level not in ("l1", "l2", "l3", "mem"):
+            raise ValueError(f"unknown cache level: {level}")
+        self.level = level
+        self.fp = fp
+        super().__init__(name, config, base_address, iterations)
+        self.stride, self.loads_per_walk = self._geometry()
+        self.footprint = self.stride * self.loads_per_walk
+
+    def default_iterations(self) -> int:
+        # Walks of the footprint per repetition.  L1 walks are short
+        # and fast; deeper levels use one walk per repetition.
+        return 4 if self.level == "l1" else 1
+
+    def _geometry(self) -> tuple[int, int]:
+        cfg = self.config
+        l1_span = cfg.l1d.num_sets * cfg.l1d.line_bytes
+        l2_span = cfg.l2.num_sets * cfg.l2.line_bytes
+        l3_span = cfg.l3.num_sets * cfg.l3.line_bytes
+        if self.level == "l1":
+            footprint = int(cfg.l1d.size_bytes * 0.4)
+            stride = 16
+            loads = max(8, footprint // stride)
+            return stride, loads
+        if self.level == "l2":
+            # Defeat L1 (one set, > assoc lines), stay resident in L2.
+            stride = l1_span
+            distinct_l2_sets = max(1, l2_span // math.gcd(stride, l2_span))
+            per_set = max(2, cfg.l2.associativity - 2)
+            loads = distinct_l2_sets * per_set
+        elif self.level == "l3":
+            # Defeat L1 and L2, stay resident in L3.
+            stride = math.lcm(l1_span, l2_span)
+            distinct_l3_sets = max(1, l3_span // math.gcd(stride, l3_span))
+            per_set = max(2, cfg.l3.associativity - 2)
+            loads = distinct_l3_sets * per_set
+        else:  # mem: defeat every level.
+            stride = math.lcm(l1_span, l2_span, l3_span)
+            max_assoc = max(cfg.l1d.associativity, cfg.l2.associativity,
+                            cfg.l3.associativity)
+            loads = 2 * max_assoc + 8
+        # Ensure the walk actually overflows the defeated levels' sets.
+        loads = max(loads, 2 * cfg.l1d.associativity + 2)
+        return stride, loads
+
+    def build(self) -> Trace:
+        chains = self.CHAINS[self.level]
+        if self.fp:
+            val, chain0 = _F_VAL, _F_CHAIN0
+        else:
+            val, chain0 = _R_VAL, _R_CHAIN0
+        b = TraceBuilder()
+        add = b.fp if self.fp else b.fx
+        base = self.base_address
+        stride = self.stride
+        loads = self.loads_per_walk
+        total = self.iterations * loads
+        for k in range(total):
+            addr = base + (k % loads) * stride
+            if chains:
+                ptr = chain0 + k % chains
+                # Pointer chase: the address of the next load in this
+                # chain depends on this load's result.
+                b.load(ptr, addr, base=ptr)
+                add(val, ptr)                  # a[i+s] + 1
+            else:
+                b.load(val, addr)
+                add(val, val)
+            b.store(val, addr)
+            if (k + 1) % _ELEMENTS_PER_LINE == 0 or k + 1 == total:
+                b.loop_overhead(_R_CTR, taken=k + 1 < total)
+        return b.build(self.name)

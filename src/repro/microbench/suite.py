@@ -1,0 +1,90 @@
+"""Registry of the 15 micro-benchmarks of Table 2.
+
+``make_microbenchmark(name, ...)`` builds any of them;
+``EVALUATED_BENCHMARKS`` lists the six the paper's evaluation keeps
+after discarding behavioural duplicates (section 4.2).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.config import CoreConfig
+from repro.microbench.base import BenchGroup, MicroBenchmark
+from repro.microbench.branch import BranchBenchmark
+from repro.microbench.floating import CpuFp
+from repro.microbench.integer import (
+    CpuInt,
+    CpuIntAdd,
+    CpuIntMul,
+    LongChainCpuInt,
+)
+from repro.microbench.memory import LoadBenchmark
+
+_Factory = Callable[..., MicroBenchmark]
+
+
+def _ld(level: str, fp: bool) -> _Factory:
+    def make(name, config=None, base_address=0, iterations=None):
+        return LoadBenchmark(name, level=level, fp=fp, config=config,
+                             base_address=base_address,
+                             iterations=iterations)
+    return make
+
+
+def _br(predictable: bool) -> _Factory:
+    def make(name, config=None, base_address=0, iterations=None):
+        return BranchBenchmark(name, predictable=predictable, config=config,
+                               base_address=base_address,
+                               iterations=iterations)
+    return make
+
+
+#: All 15 micro-benchmarks of Table 2, by name.
+MICROBENCHMARKS: dict[str, _Factory] = {
+    "cpu_int": CpuInt,
+    "cpu_int_add": CpuIntAdd,
+    "cpu_int_mul": CpuIntMul,
+    "lng_chain_cpuint": LongChainCpuInt,
+    "cpu_fp": CpuFp,
+    "br_hit": _br(True),
+    "br_miss": _br(False),
+    "ldint_l1": _ld("l1", fp=False),
+    "ldint_l2": _ld("l2", fp=False),
+    "ldint_l3": _ld("l3", fp=False),
+    "ldint_mem": _ld("mem", fp=False),
+    "ldfp_l1": _ld("l1", fp=True),
+    "ldfp_l2": _ld("l2", fp=True),
+    "ldfp_l3": _ld("l3", fp=True),
+    "ldfp_mem": _ld("mem", fp=True),
+}
+
+#: The six benchmarks the paper presents results for (section 4.2).
+EVALUATED_BENCHMARKS: tuple[str, ...] = (
+    "ldint_l1", "ldint_l2", "ldint_mem", "cpu_int", "cpu_fp",
+    "lng_chain_cpuint",
+)
+
+
+def make_microbenchmark(name: str, config: CoreConfig | None = None,
+                        base_address: int = 0,
+                        iterations: int | None = None) -> MicroBenchmark:
+    """Instantiate a Table 2 micro-benchmark by name."""
+    try:
+        factory = MICROBENCHMARKS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown micro-benchmark {name!r}; "
+            f"available: {sorted(MICROBENCHMARKS)}") from None
+    return factory(name, config=config, base_address=base_address,
+                   iterations=iterations)
+
+
+def benchmarks_in_group(group: BenchGroup) -> list[str]:
+    """Names of the registered benchmarks in one Table 2 group."""
+    names = []
+    for name in MICROBENCHMARKS:
+        bench = make_microbenchmark(name)
+        if bench.group is group:
+            names.append(name)
+    return names

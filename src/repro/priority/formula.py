@@ -1,0 +1,53 @@
+"""Equation (1) of the paper: the decode-slot ratio.
+
+With a primary thread at ``PrioP`` and a secondary at ``PrioS``::
+
+    R = 2 ** (|PrioP - PrioS| + 1)
+
+Out of every ``R`` consecutive decode cycles the higher-priority thread
+owns ``R - 1`` and the lower-priority thread owns 1.  With equal
+priorities ``R = 2`` and the threads alternate.  The formula describes
+the *normal* operating region; priorities 0, 1 and 7 trigger the
+special modes handled by :class:`repro.priority.arbiter.PrioritySlotArbiter`.
+"""
+
+from __future__ import annotations
+
+
+def decode_slot_ratio(prio_p: int, prio_s: int) -> int:
+    """``R`` of Eq. (1): the length of the decode-slot rotation."""
+    _check(prio_p, prio_s)
+    return 2 ** (abs(prio_p - prio_s) + 1)
+
+
+def slot_share(prio_p: int, prio_s: int) -> tuple[float, float]:
+    """Fraction of decode slots owned by (primary, secondary).
+
+    The higher-priority thread gets ``(R-1)/R``, the other ``1/R``;
+    equal priorities split slots evenly.
+    """
+    ratio = decode_slot_ratio(prio_p, prio_s)
+    high = (ratio - 1) / ratio
+    low = 1 / ratio
+    if prio_p > prio_s:
+        return high, low
+    if prio_p < prio_s:
+        return low, high
+    return 0.5, 0.5
+
+
+def resource_factor(prio_p: int, prio_s: int) -> tuple[float, float]:
+    """Decode-slot share of each thread relative to the (4,4) baseline.
+
+    At baseline each thread owns half the slots, so a thread at +4
+    (31/32 of slots) has factor 1.9375 -- the "93.75% more resources"
+    the paper quotes in section 5 -- and its sibling has factor 1/16.
+    """
+    share_p, share_s = slot_share(prio_p, prio_s)
+    return share_p / 0.5, share_s / 0.5
+
+
+def _check(prio_p: int, prio_s: int) -> None:
+    for value in (prio_p, prio_s):
+        if not 0 <= value <= 7:
+            raise ValueError(f"priority out of range 0..7: {value}")

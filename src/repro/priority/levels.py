@@ -1,0 +1,86 @@
+"""Thread priority levels and privilege rules (paper Table 1).
+
+POWER5 software-controlled priorities range 0..7.  Which levels a
+context may set depends on its privilege: user code gets 2-4, the
+supervisor (OS) gets 1-6, the hypervisor the whole range.  A request
+the context is not allowed to make is *silently ignored* (the or-nop
+form executes as a plain nop) -- the interface layer reproduces that.
+
+These priorities are independent of the operating system's notion of
+process priority (paper footnote 1).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class PriorityLevel(enum.IntEnum):
+    """The eight software-controlled priority levels of POWER5."""
+
+    THREAD_OFF = 0
+    VERY_LOW = 1
+    LOW = 2
+    MEDIUM_LOW = 3
+    MEDIUM = 4
+    MEDIUM_HIGH = 5
+    HIGH = 6
+    VERY_HIGH = 7
+
+    def describe(self) -> str:
+        """Human-readable level name as printed in the paper's Table 1."""
+        return _DESCRIPTIONS[self]
+
+
+_DESCRIPTIONS = {
+    PriorityLevel.THREAD_OFF: "Thread shut off",
+    PriorityLevel.VERY_LOW: "Very low",
+    PriorityLevel.LOW: "Low",
+    PriorityLevel.MEDIUM_LOW: "Medium-Low",
+    PriorityLevel.MEDIUM: "Medium",
+    PriorityLevel.MEDIUM_HIGH: "Medium-high",
+    PriorityLevel.HIGH: "High",
+    PriorityLevel.VERY_HIGH: "Very high",
+}
+
+#: The default priority, restored by the stock Linux kernel at every
+#: kernel entry (paper section 4.3).
+DEFAULT_PRIORITY = PriorityLevel.MEDIUM
+
+
+class PrivilegeLevel(enum.IntEnum):
+    """Execution privilege of the context requesting a priority change."""
+
+    USER = 0
+    SUPERVISOR = 1
+    HYPERVISOR = 2
+
+
+#: Priority levels settable at each privilege (Table 1).  Higher
+#: privileges subsume lower ones: the supervisor can also set the
+#: user levels, the hypervisor can set everything.
+ALLOWED_PRIORITIES: dict[PrivilegeLevel, frozenset[PriorityLevel]] = {
+    PrivilegeLevel.USER: frozenset({
+        PriorityLevel.LOW, PriorityLevel.MEDIUM_LOW, PriorityLevel.MEDIUM,
+    }),
+    PrivilegeLevel.SUPERVISOR: frozenset({
+        PriorityLevel.VERY_LOW, PriorityLevel.LOW, PriorityLevel.MEDIUM_LOW,
+        PriorityLevel.MEDIUM, PriorityLevel.MEDIUM_HIGH, PriorityLevel.HIGH,
+    }),
+    PrivilegeLevel.HYPERVISOR: frozenset(PriorityLevel),
+}
+
+
+def can_set_priority(privilege: PrivilegeLevel,
+                     priority: PriorityLevel | int) -> bool:
+    """True when ``privilege`` is permitted to request ``priority``."""
+    return PriorityLevel(priority) in ALLOWED_PRIORITIES[privilege]
+
+
+def minimum_privilege(priority: PriorityLevel | int) -> PrivilegeLevel:
+    """The weakest privilege level allowed to set ``priority``."""
+    level = PriorityLevel(priority)
+    for privilege in PrivilegeLevel:
+        if level in ALLOWED_PRIORITIES[privilege]:
+            return privilege
+    raise AssertionError("unreachable: hypervisor can set every level")

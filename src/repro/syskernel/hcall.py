@@ -1,0 +1,44 @@
+"""Hypervisor calls for the priorities with no user/supervisor path.
+
+Priorities 0 (thread shut off) and 7 (single-thread mode) can only be
+entered through the hypervisor (paper Table 1); on real systems the OS
+issues an hcall.  The simulator's hypervisor is trivially a privileged
+actor over the core's priority interface.
+"""
+
+from __future__ import annotations
+
+from repro.core import SMTCore
+from repro.priority.levels import PriorityLevel, PrivilegeLevel
+
+
+class HypervisorError(RuntimeError):
+    """An hcall was rejected."""
+
+
+class Hypervisor:
+    """Privileged control over thread priorities (incl. levels 0 and 7)."""
+
+    def __init__(self, core: SMTCore):
+        self._core = core
+        self.calls: list[tuple[str, int, int]] = []
+
+    def h_set_priority(self, thread_id: int, priority: int) -> None:
+        """Set any priority level 0..7 on ``thread_id``."""
+        if thread_id not in (0, 1):
+            raise HypervisorError(f"no such thread: {thread_id}")
+        if not 0 <= priority <= 7:
+            raise HypervisorError(f"priority out of range: {priority}")
+        self._core.interface.request(thread_id, priority,
+                                     PrivilegeLevel.HYPERVISOR)
+        self._core._rebuild_arbiter()
+        self.calls.append(("h_set_priority", thread_id, priority))
+
+    def h_thread_off(self, thread_id: int) -> None:
+        """Shut a hardware thread off (priority 0)."""
+        self.h_set_priority(thread_id, PriorityLevel.THREAD_OFF)
+
+    def h_single_thread_mode(self, thread_id: int) -> None:
+        """Put ``thread_id`` in ST mode: priority 7, sibling shut off."""
+        self.h_set_priority(1 - thread_id, PriorityLevel.THREAD_OFF)
+        self.h_set_priority(thread_id, PriorityLevel.VERY_HIGH)

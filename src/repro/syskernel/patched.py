@@ -1,0 +1,88 @@
+"""The paper's non-intrusive kernel patch (section 4.3).
+
+Three changes relative to :class:`StockLinuxKernel`:
+
+1. priorities 1-6 become available to user space (the kernel performs
+   the change at supervisor privilege on the user's behalf; 0 and 7 go
+   through a hypervisor call);
+2. the kernel's *internal* uses of software-controlled priorities are
+   removed, so experiments are not perturbed by unpredictable changes;
+3. kernel entries no longer reset thread priorities to MEDIUM -- the
+   experiment's settings persist across timer ticks;
+
+and a ``/sys`` interface through which user applications change their
+priority: ``/sys/kernel/smt_priority/thread<N>``.
+"""
+
+from __future__ import annotations
+
+from repro.core import SMTCore
+from repro.priority.levels import PriorityLevel, PrivilegeLevel
+from repro.syskernel.hcall import Hypervisor
+from repro.syskernel.kernel import StockLinuxKernel
+from repro.syskernel.sysfs import SysFS, SysFSError
+
+
+class PatchedKernel(StockLinuxKernel):
+    """Kernel with the paper's priority patch applied."""
+
+    SYSFS_DIR = "/sys/kernel/smt_priority"
+
+    def __init__(self, timer_period: int | None = None):
+        super().__init__(timer_period)
+        self.sysfs = SysFS()
+        self._hypervisor: Hypervisor | None = None
+
+    def install(self, core: SMTCore) -> None:
+        """Attach the timer hook and register the sysfs files."""
+        super().install(core)
+        self._hypervisor = Hypervisor(core)
+        for tid in (0, 1):
+            self.sysfs.register(
+                f"{self.SYSFS_DIR}/thread{tid}",
+                read=self._reader(core, tid),
+                write=self._writer(core, tid))
+
+    def kernel_entry(self, core: SMTCore) -> None:
+        """Patched: kernel entries do NOT touch thread priorities."""
+        self.kernel_entries += 1
+
+    def spin_lock_wait(self, core: SMTCore, thread_id: int) -> None:
+        """Patched: internal priority uses are removed (no-op)."""
+
+    def smp_call_function_wait(self, core: SMTCore, thread_id: int) -> None:
+        """Patched: internal priority uses are removed (no-op)."""
+
+    def idle(self, core: SMTCore, thread_id: int) -> None:
+        """Patched: internal priority uses are removed (no-op)."""
+
+    def set_priority(self, core: SMTCore, thread_id: int,
+                     priority: int) -> None:
+        """The patch's privileged path: any level 0..7.
+
+        1-6 are applied at supervisor privilege; 0 and 7 are forwarded
+        to the hypervisor, as the paper describes.
+        """
+        level = PriorityLevel(priority)
+        if level in (PriorityLevel.THREAD_OFF, PriorityLevel.VERY_HIGH):
+            assert self._hypervisor is not None, "kernel not installed"
+            self._hypervisor.h_set_priority(thread_id, level)
+            return
+        core.interface.request(thread_id, level, PrivilegeLevel.SUPERVISOR)
+        core._rebuild_arbiter()
+
+    def _reader(self, core: SMTCore, tid: int):
+        def read() -> str:
+            return str(int(core.interface.priority(tid)))
+        return read
+
+    def _writer(self, core: SMTCore, tid: int):
+        def write(value: str) -> None:
+            try:
+                level = int(value.strip())
+            except ValueError:
+                raise SysFSError(f"invalid priority: {value!r}") from None
+            if not 0 <= level <= 7:
+                raise SysFSError(f"priority out of range: {level}")
+            self.set_priority(core, tid, level)
+        return write

@@ -1,0 +1,51 @@
+"""A tiny ``/sys`` pseudo-filesystem.
+
+The paper's kernel patch exposes thread priorities to user space
+through ``/sys``; experiments and examples interact with priorities by
+reading and writing string files, exactly like ``echo 6 > /sys/...``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+
+class SysFSError(OSError):
+    """Unknown path or rejected write."""
+
+
+class SysFS:
+    """String files backed by getter/setter callables."""
+
+    def __init__(self) -> None:
+        self._files: dict[str, tuple[Callable[[], str],
+                                     Callable[[str], None] | None]] = {}
+
+    def register(self, path: str, read: Callable[[], str],
+                 write: Callable[[str], None] | None = None) -> None:
+        """Create a pseudo-file at ``path``."""
+        if not path.startswith("/sys/"):
+            raise ValueError(f"sysfs paths start with /sys/: {path}")
+        self._files[path] = (read, write)
+
+    def read(self, path: str) -> str:
+        """Read a pseudo-file's contents."""
+        try:
+            read, _ = self._files[path]
+        except KeyError:
+            raise SysFSError(f"no such file: {path}") from None
+        return read()
+
+    def write(self, path: str, value: str) -> None:
+        """Write a pseudo-file (raises when read-only or unknown)."""
+        try:
+            _, write = self._files[path]
+        except KeyError:
+            raise SysFSError(f"no such file: {path}") from None
+        if write is None:
+            raise SysFSError(f"read-only file: {path}")
+        write(value)
+
+    def listdir(self, prefix: str = "/sys/") -> list[str]:
+        """All registered paths under ``prefix``."""
+        return sorted(p for p in self._files if p.startswith(prefix))

@@ -1,0 +1,31 @@
+"""Case-study workloads: SPEC models, FFT/LU, the software pipeline."""
+
+from repro.workloads.fft import (
+    FFTTraceProgram,
+    bit_reverse_permutation,
+    fft_reference,
+)
+from repro.workloads.lu import LUTraceProgram, lu_reference, lu_unpack
+from repro.workloads.pipeline import PipelineResult, SoftwarePipeline
+from repro.workloads.spec import (
+    CASE_STUDY_PAIRS,
+    SPEC_PROFILES,
+    make_spec_workload,
+)
+from repro.workloads.synth import AppProfile, SyntheticApp
+
+__all__ = [
+    "AppProfile",
+    "SyntheticApp",
+    "SPEC_PROFILES",
+    "CASE_STUDY_PAIRS",
+    "make_spec_workload",
+    "FFTTraceProgram",
+    "fft_reference",
+    "bit_reverse_permutation",
+    "LUTraceProgram",
+    "lu_reference",
+    "lu_unpack",
+    "SoftwarePipeline",
+    "PipelineResult",
+]

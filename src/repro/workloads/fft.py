@@ -1,0 +1,149 @@
+"""Radix-2 FFT: reference implementation + instrumented trace program.
+
+The execution-time case study (paper section 5.4, Table 4) pipelines a
+Fast Fourier Transformation stage into an LU stage.  ``fft_reference``
+is a plain, correct radix-2 decimation-in-time FFT (tested against
+``numpy.fft``); :class:`FFTTraceProgram` walks exactly the same loop
+structure -- bit-reversal permutation, then ``log2(n)`` butterfly
+stages -- emitting the loads, floating-point operations and stores of
+each butterfly, so the trace has the authentic dataflow shape of the
+algorithm the paper runs.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+
+from repro.config import POWER5, CoreConfig
+from repro.isa.builder import TraceBuilder
+from repro.isa.registers import fpr
+from repro.isa.trace import Trace
+
+_R_CTR = 6
+# FP registers of the butterfly kernel.
+_F_AR, _F_AI, _F_BR, _F_BI = fpr(1), fpr(2), fpr(3), fpr(4)
+_F_WR, _F_WI = fpr(5), fpr(6)
+_F_T1, _F_T2, _F_TR, _F_TI = fpr(7), fpr(8), fpr(9), fpr(10)
+
+
+def bit_reverse_permutation(n: int) -> list[int]:
+    """Index permutation used by the iterative radix-2 FFT."""
+    if n < 1 or n & (n - 1):
+        raise ValueError("n must be a positive power of two")
+    bits = n.bit_length() - 1
+    return [int(format(i, f"0{bits}b")[::-1], 2) if bits else 0
+            for i in range(n)]
+
+
+def fft_reference(values: list[complex]) -> list[complex]:
+    """Iterative radix-2 decimation-in-time FFT (O(n log n))."""
+    n = len(values)
+    if n < 1 or n & (n - 1):
+        raise ValueError("length must be a positive power of two")
+    data = [values[j] for j in bit_reverse_permutation(n)]
+    length = 2
+    while length <= n:
+        root = cmath.exp(-2j * cmath.pi / length)
+        for start in range(0, n, length):
+            w = 1 + 0j
+            half = length // 2
+            for k in range(start, start + half):
+                odd = data[k + half] * w
+                data[k + half] = data[k] - odd
+                data[k] = data[k] + odd
+                w *= root
+        length *= 2
+    return data
+
+
+class FFTTraceProgram:
+    """Trace source emitting the instruction stream of one n-point FFT.
+
+    Data layout: split real/imaginary double arrays at ``base_address``
+    (re) and ``base_address + 8n`` (im); the twiddle table follows.
+    Each butterfly loads both operand pairs and the twiddle, performs
+    the complex multiply-add (10 FP operations), and stores both
+    results.  The whole transform is one repetition.
+    """
+
+    def __init__(self, n: int = 128, config: CoreConfig | None = None,
+                 base_address: int = 0):
+        if n < 2 or n & (n - 1):
+            raise ValueError("n must be a power of two >= 2")
+        self.n = n
+        self.config = config or POWER5.small()
+        self.base_address = base_address
+        self.name = f"fft{n}"
+        self._trace: Trace | None = None
+
+    def _re(self, i: int) -> int:
+        return self.base_address + 8 * i
+
+    def _im(self, i: int) -> int:
+        return self.base_address + 8 * (self.n + i)
+
+    def _tw(self, i: int) -> int:
+        return self.base_address + 8 * (2 * self.n + i)
+
+    def repetition(self, rep_index: int) -> Trace:
+        if self._trace is None:
+            self._trace = self.build()
+        return self._trace
+
+    def trace(self) -> Trace:
+        """The (cached) single-transform trace."""
+        return self.repetition(0)
+
+    def build(self) -> Trace:
+        """Emit the bit-reversal pass and all butterfly stages."""
+        n = self.n
+        b = TraceBuilder()
+        # Bit-reversal permutation: swap loads/stores for i < rev(i).
+        for i, j in enumerate(bit_reverse_permutation(n)):
+            if i < j:
+                b.load(_F_AR, self._re(i))
+                b.load(_F_BR, self._re(j))
+                b.store(_F_BR, self._re(i))
+                b.store(_F_AR, self._re(j))
+                b.load(_F_AI, self._im(i))
+                b.load(_F_BI, self._im(j))
+                b.store(_F_BI, self._im(i))
+                b.store(_F_AI, self._im(j))
+        # log2(n) butterfly stages.
+        length = 2
+        while length <= n:
+            half = length // 2
+            for start in range(0, n, length):
+                for k in range(start, start + half):
+                    tw_index = (k - start) * (n // length)
+                    self._butterfly(b, k, k + half, tw_index)
+            b.loop_overhead(_R_CTR, taken=length < n)
+            length *= 2
+        return b.build(self.name)
+
+    def _butterfly(self, b: TraceBuilder, i: int, j: int,
+                   tw: int) -> None:
+        """One complex butterfly: (a, b) -> (a + w*b, a - w*b)."""
+        b.load(_F_AR, self._re(i))
+        b.load(_F_AI, self._im(i))
+        b.load(_F_BR, self._re(j))
+        b.load(_F_BI, self._im(j))
+        b.load(_F_WR, self._tw(tw))
+        b.load(_F_WI, self._tw(tw) + 8 * self.n)
+        # Complex multiply t = w * b (4 mul + 2 add) ...
+        b.fp(_F_T1, _F_WR, _F_BR)
+        b.fp(_F_T2, _F_WI, _F_BI)
+        b.fp(_F_TR, _F_T1, _F_T2)
+        b.fp(_F_T1, _F_WR, _F_BI)
+        b.fp(_F_T2, _F_WI, _F_BR)
+        b.fp(_F_TI, _F_T1, _F_T2)
+        # ... then the add/sub pair per component.
+        b.fp(_F_BR, _F_AR, _F_TR)
+        b.fp(_F_BI, _F_AI, _F_TI)
+        b.fp(_F_AR, _F_AR, _F_TR)
+        b.fp(_F_AI, _F_AI, _F_TI)
+        b.store(_F_AR, self._re(i))
+        b.store(_F_AI, self._im(i))
+        b.store(_F_BR, self._re(j))
+        b.store(_F_BI, self._im(j))

@@ -1,0 +1,117 @@
+"""LU decomposition: reference implementation + instrumented trace.
+
+The consumer stage of the paper's software pipeline (section 5.4).
+``lu_reference`` performs in-place Doolittle LU decomposition without
+pivoting (tested against ``scipy``-style reconstruction);
+:class:`LUTraceProgram` walks the same k-i-j loop nest emitting the
+loads, the reciprocal/multiplier computation and the row-update
+multiply-subtracts.
+"""
+
+from __future__ import annotations
+
+from repro.config import POWER5, CoreConfig
+from repro.isa.builder import TraceBuilder
+from repro.isa.registers import fpr
+from repro.isa.trace import Trace
+
+_R_CTR = 6
+_F_PIV, _F_REC, _F_MUL = fpr(1), fpr(2), fpr(3)
+_F_AKJ, _F_AIJ, _F_T = fpr(4), fpr(5), fpr(6)
+
+
+def lu_reference(matrix: list[list[float]]) -> list[list[float]]:
+    """In-place Doolittle LU (no pivoting); returns the packed LU.
+
+    The result stores U in the upper triangle (incl. diagonal) and the
+    unit-lower-triangular L's multipliers below the diagonal.
+    """
+    m = len(matrix)
+    if any(len(row) != m for row in matrix):
+        raise ValueError("matrix must be square")
+    lu = [list(row) for row in matrix]
+    for k in range(m):
+        pivot = lu[k][k]
+        if pivot == 0.0:
+            raise ZeroDivisionError(f"zero pivot at k={k} (no pivoting)")
+        for i in range(k + 1, m):
+            mult = lu[i][k] / pivot
+            lu[i][k] = mult
+            for j in range(k + 1, m):
+                lu[i][j] -= mult * lu[k][j]
+    return lu
+
+
+def lu_unpack(lu: list[list[float]]) -> tuple[list[list[float]],
+                                              list[list[float]]]:
+    """Split a packed LU into explicit (L, U) factors."""
+    m = len(lu)
+    lower = [[lu[i][j] if j < i else (1.0 if i == j else 0.0)
+              for j in range(m)] for i in range(m)]
+    upper = [[lu[i][j] if j >= i else 0.0 for j in range(m)]
+             for i in range(m)]
+    return lower, upper
+
+
+class LUTraceProgram:
+    """Trace source emitting one m x m LU decomposition.
+
+    Data layout: row-major double matrix at ``base_address``.  The
+    reciprocal of the pivot is computed once per (k, i) pair (modelled
+    as a short FP sequence -- POWER5 FP divide is iterative), then the
+    inner j-loop performs load/load/mul/sub/store updates.
+    """
+
+    #: FP operations used to model one divide (Newton-Raphson steps).
+    DIV_OPS = 8
+
+    def __init__(self, m: int = 6, config: CoreConfig | None = None,
+                 base_address: int = 0):
+        if m < 2:
+            raise ValueError("matrix dimension must be >= 2")
+        self.m = m
+        self.config = config or POWER5.small()
+        self.base_address = base_address
+        self.name = f"lu{m}x{m}"
+        self._trace: Trace | None = None
+
+    def _addr(self, i: int, j: int) -> int:
+        return self.base_address + 8 * (i * self.m + j)
+
+    def repetition(self, rep_index: int) -> Trace:
+        if self._trace is None:
+            self._trace = self.build()
+        return self._trace
+
+    def trace(self) -> Trace:
+        """The (cached) single-decomposition trace."""
+        return self.repetition(0)
+
+    def build(self) -> Trace:
+        """Emit the full k-i-j elimination loop nest."""
+        m = self.m
+        b = TraceBuilder()
+        for k in range(m):
+            # The pivot a[k][k] was updated during elimination step
+            # k-1, so the load is serially dependent on the previous
+            # step's last update (expressed through the value register;
+            # the scoreboard has no store-to-load forwarding).  This
+            # cross-step chain is what makes small LU latency-bound.
+            b.load(_F_PIV, self._addr(k, k),
+                   base=_F_AIJ if k else -1)
+            # Reciprocal of the pivot (iterative divide).
+            b.fp(_F_REC, _F_PIV)
+            for _ in range(self.DIV_OPS - 1):
+                b.fp(_F_REC, _F_REC, _F_PIV)
+            for i in range(k + 1, m):
+                b.load(_F_MUL, self._addr(i, k))
+                b.fp(_F_MUL, _F_MUL, _F_REC)       # multiplier
+                b.store(_F_MUL, self._addr(i, k))
+                for j in range(k + 1, m):
+                    b.load(_F_AKJ, self._addr(k, j))
+                    b.load(_F_AIJ, self._addr(i, j))
+                    b.fp(_F_T, _F_MUL, _F_AKJ)     # mult * a[k][j]
+                    b.fp(_F_AIJ, _F_AIJ, _F_T)     # a[i][j] -= ...
+                    b.store(_F_AIJ, self._addr(i, j))
+                b.loop_overhead(_R_CTR, taken=i < m - 1)
+        return b.build(self.name)

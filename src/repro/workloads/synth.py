@@ -1,0 +1,174 @@
+"""Parameterised synthetic application model.
+
+The paper's case studies use SPEC CPU2000/2006 binaries; we replace
+them with :class:`SyntheticApp` -- a block-structured workload whose
+instruction mix is controlled by a handful of parameters (integer vs
+floating point, dependence density, load level mix, branch density).
+The four application models in :mod:`repro.workloads.spec` are
+instances calibrated to the single-thread IPCs the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import POWER5, CoreConfig
+from repro.isa.builder import TraceBuilder
+from repro.isa.registers import fpr
+from repro.isa.trace import Trace
+
+_R_CTR = 6
+_R_ACC = 2
+_R_TMP = 4
+_R_VAL = 20
+_R_PTR = 16      # pointer-chase register
+_F_ACC = fpr(2)
+_F_TMP = fpr(4)
+_F_VAL = fpr(20)
+
+
+@dataclass(frozen=True)
+class AppProfile:
+    """Instruction-mix parameters of a synthetic application.
+
+    One *block* is the unit of work: ``compute_ops`` arithmetic
+    instructions (a fraction ``chain_density`` of them on a serial
+    dependence chain), ``loads`` memory accesses distributed over the
+    cache levels per ``level_mix``, and a conditional branch.  A
+    repetition is ``blocks`` blocks.
+    """
+
+    name: str
+    blocks: int = 64
+    compute_ops: int = 8
+    chain_density: float = 0.25     # fraction of compute on the chain
+    use_fp: bool = False
+    loads: int = 2
+    #: fractions of loads serviced by (l1, l2, mem); must sum to <= 1,
+    #: remainder goes to L1.
+    level_mix: tuple[float, float, float] = (1.0, 0.0, 0.0)
+    pointer_chase: bool = False     # chain loads through pointer regs
+    chase_chains: int = 2           # parallel pointer chains
+    stores: int = 1
+    branch_every: int = 1           # blocks between conditional branches
+
+    def __post_init__(self) -> None:
+        if self.blocks < 1 or self.compute_ops < 0:
+            raise ValueError("invalid block structure")
+        if not 0.0 <= self.chain_density <= 1.0:
+            raise ValueError("chain_density must be in [0, 1]")
+        if sum(self.level_mix) > 1.0 + 1e-9:
+            raise ValueError("level_mix fractions exceed 1")
+
+
+class SyntheticApp:
+    """A TraceSource built from an :class:`AppProfile`.
+
+    Cache-level targeting reuses the conflict-set construction of the
+    memory micro-benchmarks: per level, a dedicated address stream that
+    always hits (l1) or always reaches the level (l2/mem).
+    """
+
+    def __init__(self, profile: AppProfile,
+                 config: CoreConfig | None = None, base_address: int = 0):
+        self.profile = profile
+        self.config = config or POWER5.small()
+        self.base_address = base_address
+        self.name = profile.name
+        self._trace: Trace | None = None
+        self._streams = _AddressStreams(self.config, base_address)
+
+    def repetition(self, rep_index: int) -> Trace:
+        if self._trace is None:
+            self._trace = self._build()
+        return self._trace
+
+    def trace(self) -> Trace:
+        """The (cached) repetition trace."""
+        return self.repetition(0)
+
+    def _build(self) -> Trace:
+        p = self.profile
+        b = TraceBuilder()
+        acc = _F_ACC if p.use_fp else _R_ACC
+        tmp = _F_TMP if p.use_fp else _R_TMP
+        val = _F_VAL if p.use_fp else _R_VAL
+        op = b.fp if p.use_fp else b.fx
+        chain_ops = max(0, round(p.compute_ops * p.chain_density))
+        free_ops = p.compute_ops - chain_ops
+        # Deterministic spread of loads over levels per block.
+        plan = self._load_plan()
+        chase = 0
+        for blk in range(p.blocks):
+            for which in plan[blk % len(plan)]:
+                addr = self._streams.next_address(which)
+                if p.pointer_chase and which != "l1":
+                    ptr = _R_PTR + chase % max(1, p.chase_chains)
+                    chase += 1
+                    b.load(ptr, addr, base=ptr)
+                    op(val, ptr if not p.use_fp else val)
+                else:
+                    b.load(val, addr)
+            # Independent (ILP) compute: rotating temporaries with no
+            # cross dependences, so they pack into wide decode groups.
+            for k in range(free_ops):
+                op(tmp + (k % 3), val if k == 0 else -1)
+            for _ in range(chain_ops):
+                op(acc, acc, tmp)
+            for _ in range(p.stores):
+                b.store(val, self._streams.next_address("st"))
+            if (blk + 1) % p.branch_every == 0:
+                b.loop_overhead(_R_CTR, taken=blk + 1 < p.blocks)
+        return b.build(p.name)
+
+    def _load_plan(self) -> list[list[str]]:
+        """Per-block load-level schedule realising ``level_mix``.
+
+        Uses an 8-block rotation so fractional mixes come out exact
+        in eighths.
+        """
+        p = self.profile
+        f_l1, f_l2, f_mem = p.level_mix
+        f_l1 = max(0.0, 1.0 - f_l2 - f_mem)
+        plan: list[list[str]] = []
+        counters = {"l1": 0.0, "l2": 0.0, "mem": 0.0}
+        fractions = {"l1": f_l1, "l2": f_l2, "mem": f_mem}
+        for _ in range(8):
+            block: list[str] = []
+            for _ in range(p.loads):
+                for level in ("mem", "l2", "l1"):
+                    counters[level] += fractions[level]
+                chosen = max(counters, key=counters.get)
+                counters[chosen] -= 1.0
+                block.append(chosen)
+            plan.append(block)
+        return plan
+
+
+class _AddressStreams:
+    """Per-level address generators (conflict-set walks, as in
+    :mod:`repro.microbench.memory`)."""
+
+    def __init__(self, config: CoreConfig, base: int):
+        l1_span = config.l1d.num_sets * config.l1d.line_bytes
+        l2_span = config.l2.num_sets * config.l2.line_bytes
+        l3_span = config.l3.num_sets * config.l3.line_bytes
+        import math
+        self._geom = {
+            "l1": (16, max(8, int(config.l1d.size_bytes * 0.25) // 16)),
+            "l2": (l1_span, 8 * max(2, config.l2.associativity - 2)),
+            "mem": (math.lcm(l1_span, l2_span, l3_span),
+                    2 * max(config.l1d.associativity,
+                            config.l2.associativity,
+                            config.l3.associativity) + 8),
+            "st": (64, 32),
+        }
+        self._base = {"l1": base, "l2": base + (1 << 23),
+                      "mem": base + (1 << 24), "st": base + (1 << 22)}
+        self._pos = {k: 0 for k in self._geom}
+
+    def next_address(self, which: str) -> int:
+        stride, count = self._geom[which]
+        k = self._pos[which]
+        self._pos[which] = k + 1
+        return self._base[which] + (k % count) * stride

@@ -1,0 +1,76 @@
+"""Shared fixtures for the test suite.
+
+Simulation-backed tests use the ``small`` preset and short FAME
+budgets; expensive measurements that several tests inspect are cached
+at session scope.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import POWER5
+from repro.core import SMTCore
+from repro.fame import FameRunner
+from repro.microbench import make_microbenchmark
+
+#: Address offset for the secondary thread in pair runs.
+SECONDARY_BASE = (1 << 27) + 8192
+
+
+@pytest.fixture(scope="session")
+def config():
+    """The fast machine preset used throughout the tests."""
+    return POWER5.small()
+
+
+@pytest.fixture(scope="session")
+def runner(config):
+    """A FAME runner with short budgets for test speed."""
+    return FameRunner(config, min_repetitions=3, max_cycles=2_000_000)
+
+
+@pytest.fixture
+def core(config):
+    """A fresh core."""
+    return SMTCore(config)
+
+
+@pytest.fixture(scope="session")
+def bench(config):
+    """Factory for micro-benchmarks on the test config."""
+    def make(name, base_address=0, iterations=None):
+        return make_microbenchmark(name, config,
+                                   base_address=base_address,
+                                   iterations=iterations)
+    return make
+
+
+class MeasurementCache:
+    """Session-wide cache of FAME measurements keyed by scenario."""
+
+    def __init__(self, runner, bench_factory):
+        self._runner = runner
+        self._bench = bench_factory
+        self._cache = {}
+
+    def single(self, name):
+        key = ("single", name)
+        if key not in self._cache:
+            self._cache[key] = self._runner.run_single(self._bench(name))
+        return self._cache[key]
+
+    def pair(self, primary, secondary, priorities=(4, 4)):
+        key = ("pair", primary, secondary, priorities)
+        if key not in self._cache:
+            self._cache[key] = self._runner.run_pair(
+                self._bench(primary),
+                self._bench(secondary, base_address=SECONDARY_BASE),
+                priorities=priorities)
+        return self._cache[key]
+
+
+@pytest.fixture(scope="session")
+def measured(runner, bench):
+    """Cached FAME measurements shared across behavioural tests."""
+    return MeasurementCache(runner, bench)

@@ -1,0 +1,113 @@
+"""Tests for metrics and the analytical decode-share model."""
+
+import pytest
+
+from repro.analysis import (
+    ThreadModel,
+    fairness,
+    harmonic_mean_of_speedups,
+    predict_pair_ipc,
+    predict_speedup,
+    priority_sensitivity,
+    relative_series,
+    slowdown,
+    speedup,
+    total_ipc,
+    weighted_speedup,
+)
+
+
+class TestBasicMetrics:
+    def test_speedup(self):
+        assert speedup(200, 100) == 2.0
+
+    def test_slowdown(self):
+        assert slowdown(100, 400) == 4.0
+
+    def test_speedup_validation(self):
+        with pytest.raises(ValueError):
+            speedup(100, 0)
+        with pytest.raises(ValueError):
+            slowdown(0, 100)
+
+    def test_total_ipc(self):
+        assert total_ipc([0.5, 0.25]) == 0.75
+
+    def test_weighted_speedup(self):
+        assert weighted_speedup([0.5, 0.5], [1.0, 1.0]) == 1.0
+        with pytest.raises(ValueError):
+            weighted_speedup([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            weighted_speedup([1.0], [0.0])
+
+    def test_harmonic_mean(self):
+        assert harmonic_mean_of_speedups([1.0, 1.0], [1.0, 1.0]) == 1.0
+        assert harmonic_mean_of_speedups([0.0, 1.0], [1.0, 1.0]) == 0.0
+
+    def test_fairness(self):
+        assert fairness([0.5, 0.5], [1.0, 1.0]) == 1.0
+        assert fairness([0.25, 0.5], [1.0, 1.0]) == 0.5
+        assert fairness([], []) == 0.0
+
+    def test_relative_series(self):
+        assert relative_series([2.0, 4.0], 2.0) == [1.0, 2.0]
+        with pytest.raises(ValueError):
+            relative_series([1.0], 0.0)
+
+
+class TestDecodeShareModel:
+    def test_cpu_bound_scales_with_share(self):
+        # Fully decode-limited: ST IPC == decode rate.
+        cpu = ThreadModel(st_ipc=2.0, decode_rate=2.0, dataflow_ipc=4.0)
+        p44, _ = predict_pair_ipc(cpu, cpu, 4, 4)
+        p62, _ = predict_pair_ipc(cpu, cpu, 6, 2)
+        assert p44 == pytest.approx(1.0)
+        assert p62 == pytest.approx(2.0 * 31 / 32)
+
+    def test_memory_bound_insensitive(self):
+        # Latency-bound: dataflow far below the decode rate.
+        mem = ThreadModel(st_ipc=0.02, decode_rate=2.0,
+                          dataflow_ipc=0.02)
+        p44, _ = predict_pair_ipc(mem, mem, 4, 4)
+        p62, _ = predict_pair_ipc(mem, mem, 6, 2)
+        assert p44 == p62 == pytest.approx(0.02)
+
+    def test_starvation_at_negative_diff(self):
+        cpu = ThreadModel(st_ipc=2.0, decode_rate=2.0)
+        starved, other = predict_pair_ipc(cpu, cpu, 1, 6)
+        assert starved == pytest.approx(2.0 / 64)
+        assert other > starved
+
+    def test_predict_speedup_direction(self):
+        cpu = ThreadModel(st_ipc=2.0, decode_rate=2.0)
+        assert predict_speedup(cpu, 6, 2) > 1.0
+        assert predict_speedup(cpu, 2, 6) < 1.0
+
+    def test_sensitivity_extremes(self):
+        cpu = ThreadModel(st_ipc=2.0, decode_rate=2.0, dataflow_ipc=9.0)
+        mem = ThreadModel(st_ipc=0.02, decode_rate=2.0,
+                          dataflow_ipc=0.02)
+        assert priority_sensitivity(cpu) > 0.9
+        assert priority_sensitivity(mem) == 0.0
+
+    def test_defaults_from_st_ipc(self):
+        model = ThreadModel(st_ipc=1.0)
+        decode, dataflow = model.limits()
+        assert decode == dataflow == 1.0
+
+
+class TestModelAgreesWithSimulator:
+    """The analytical model predicts the simulator's direction."""
+
+    def test_cpu_int_positive_priority_direction(self, measured):
+        base = measured.pair("cpu_int", "cpu_fp", (4, 4))
+        up = measured.pair("cpu_int", "cpu_fp", (6, 2))
+        model = ThreadModel(st_ipc=2.0, decode_rate=2.0)
+        assert (up.thread(0).ipc > base.thread(0).ipc) == (
+            predict_speedup(model, 6, 2) > 1.0)
+
+    def test_mem_insensitivity_matches(self, measured):
+        base = measured.pair("ldint_mem", "cpu_int", (4, 4))
+        up = measured.pair("ldint_mem", "cpu_int", (6, 2))
+        ratio = up.thread(0).ipc / base.thread(0).ipc
+        assert ratio < 1.3  # model predicts flat; simulator near-flat

@@ -1,0 +1,96 @@
+"""Unit tests for the bimodal branch history table."""
+
+import pytest
+
+from repro.branch import BimodalBHT
+from repro.config import BranchConfig
+
+
+def make_bht(entries=64):
+    return BimodalBHT(BranchConfig(bht_entries=entries))
+
+
+class TestPrediction:
+    def test_initial_state_predicts_taken(self):
+        assert make_bht().predict(0)
+
+    def test_trains_to_not_taken(self):
+        bht = make_bht()
+        bht.update(0, False)
+        bht.update(0, False)
+        assert not bht.predict(0)
+
+    def test_single_not_taken_not_enough(self):
+        bht = make_bht()
+        bht.update(0, False)  # weak-taken -> weak-not-taken? (2->1)
+        assert not bht.predict(0)
+        bht2 = make_bht()
+        bht2.update(0, True)  # strengthen first
+        bht2.update(0, False)
+        assert bht2.predict(0)
+
+    def test_counters_saturate(self):
+        bht = make_bht()
+        for _ in range(10):
+            bht.update(0, True)
+        bht.update(0, False)
+        assert bht.predict(0)  # strong-taken survives one not-taken
+
+    def test_always_taken_branch_perfectly_predicted(self):
+        bht = make_bht()
+        for _ in range(100):
+            assert bht.predict_and_update(5, True, 0)
+
+    def test_alternating_branch_mispredicts(self):
+        bht = make_bht()
+        outcomes = [bool(i % 2) for i in range(200)]
+        correct = sum(bht.predict_and_update(9, o, 0) for o in outcomes)
+        assert correct <= 120  # near-chance at best
+
+
+class TestIndexing:
+    def test_distinct_pcs_independent(self):
+        bht = make_bht(entries=64)
+        bht.update(1, False)
+        bht.update(1, False)
+        assert bht.predict(2)  # untouched entry
+        assert not bht.predict(1)
+
+    def test_aliasing_wraps_table(self):
+        bht = make_bht(entries=64)
+        bht.update(0, False)
+        bht.update(0, False)
+        assert not bht.predict(64)  # same entry
+
+    def test_non_power_of_two_table(self):
+        bht = BimodalBHT(BranchConfig(bht_entries=100))
+        bht.update(0, False)
+        bht.update(0, False)
+        assert not bht.predict(100)  # modulo indexing
+
+
+class TestStats:
+    def test_misprediction_rate(self):
+        bht = make_bht()
+        bht.predict_and_update(0, True, 0)   # correct (weak taken)
+        bht.predict_and_update(1, False, 0)  # wrong
+        assert bht.misprediction_rate == pytest.approx(0.5)
+
+    def test_per_thread_counters(self):
+        bht = make_bht()
+        bht.predict_and_update(0, False, thread_id=1)
+        assert bht.thread_mispredictions == [0, 1]
+
+    def test_empty_rate_is_zero(self):
+        assert make_bht().misprediction_rate == 0.0
+
+    def test_reset(self):
+        bht = make_bht()
+        bht.predict_and_update(0, False, 0)
+        bht.reset()
+        assert bht.predictions == 0
+        assert bht.predict(0)  # back to weak-taken
+
+    def test_entries_validated(self):
+        with pytest.raises(ValueError):
+            BimodalBHT(BranchConfig(bht_entries=0))

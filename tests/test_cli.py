@@ -1,0 +1,50 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.preset == "small"
+        assert args.min_reps == 3
+
+    def test_preset_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--preset", "huge"])
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out and "figure6" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["tableX"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_table1_runs(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "or 31,31,31" in out
+        assert "conformance: OK" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        path = tmp_path / "out.json"
+        assert main(["table1", "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload[0]["id"] == "table1"
+        assert payload[0]["data"]["failures"] == []
+
+    def test_json_tuple_keys_flattened(self, tmp_path):
+        # table4 has nested dicts with plain keys; figure-style tuple
+        # keys must serialize too.  Use a tiny custom run via table1
+        # plus direct helper check.
+        from repro.cli import _jsonable
+        flat = _jsonable({("a", "b"): [1, 2], "c": {("x", 1): 3}})
+        assert flat == {"a|b": [1, 2], "c": {"x|1": 3}}

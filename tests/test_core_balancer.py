@@ -1,0 +1,130 @@
+"""Tests for the dynamic hardware resource balancer."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import BalancerConfig, POWER5
+from repro.core import ResourceBalancer, SMTCore
+from repro.isa import FixedTraceSource, TraceBuilder
+
+
+def mem_hog_source(config, name="memhog"):
+    """Dependent DRAM-missing loads: the canonical GCT/miss offender."""
+    b = TraceBuilder()
+    stride = 1 << 22
+    for k in range(64):
+        b.load(16, (k % 40) * stride, base=16)
+        b.fx(2, 16)
+    return FixedTraceSource(b.build(name))
+
+
+def fx_source(name="fx"):
+    b = TraceBuilder()
+    for i in range(64):
+        b.fx(2 + i % 8)
+    return FixedTraceSource(b.build(name))
+
+
+def chain_source(name="chain"):
+    b = TraceBuilder()
+    for _ in range(128):
+        b.fx_mul(2, 2)
+    return FixedTraceSource(b.build(name))
+
+
+class TestPolicyUnits:
+    def test_offender_requires_not_higher_priority(self):
+        bal = ResourceBalancer(BalancerConfig())
+        assert bal.is_offender(4, 4)
+        assert bal.is_offender(2, 6)
+        assert not bal.is_offender(6, 2)
+
+    def test_should_flush_needs_blocked_oldest(self):
+        bal = ResourceBalancer(BalancerConfig())
+        thr = bal.config.gct_flush_threshold
+        assert bal.should_flush(thr, oldest_completion=1000, now=0)
+        assert not bal.should_flush(thr, oldest_completion=10, now=0)
+        assert not bal.should_flush(thr - 1, oldest_completion=1000,
+                                    now=0)
+
+    def test_flush_disabled_by_config(self):
+        bal = ResourceBalancer(
+            BalancerConfig(flush_enabled=False))
+        assert not bal.should_flush(20, 10_000, 0)
+
+    def test_window_throttle_needs_miss_dominance(self):
+        bal = ResourceBalancer(BalancerConfig())
+        assert bal.window_throttle(l2_miss_delta=5, retired_delta=20)
+        # High-IPC thread with incidental misses is left alone.
+        assert not bal.window_throttle(l2_miss_delta=5,
+                                       retired_delta=1000)
+        assert not bal.window_throttle(l2_miss_delta=1,
+                                       retired_delta=2)
+
+    def test_resume_hysteresis_below_threshold(self):
+        bal = ResourceBalancer(BalancerConfig(gct_stall_threshold=10))
+        assert bal.resume_threshold < 10
+
+
+class TestBalancerInAction:
+    def test_stall_caps_gct_hog(self, config):
+        core = SMTCore(config)
+        core.load([chain_source(), fx_source()])
+        core.step(20_000)
+        held = core.thread(0).gct_held
+        assert held <= config.balancer.gct_stall_threshold + 1
+        assert core.balancer.stats.stall_events[0] > 0
+
+    def test_flush_fires_for_miss_blocked_hog(self, config):
+        core = SMTCore(config)
+        core.load([mem_hog_source(config), fx_source()])
+        core.step(60_000)
+        assert core.thread(0).flushes > 0
+        assert core.balancer.stats.flush_events[0] > 0
+
+    def test_flush_defers_to_high_priority(self, config):
+        core = SMTCore(config)
+        core.load([mem_hog_source(config), fx_source()],
+                  priorities=(6, 2))
+        core.step(60_000)
+        assert core.thread(0).flushes == 0
+
+    def test_throttle_hits_miss_dominated_thread(self, config):
+        core = SMTCore(config)
+        core.load([mem_hog_source(config), fx_source()])
+        core.step(60_000)
+        assert core.balancer.stats.throttle_windows[0] > 0
+        assert core.balancer.stats.throttle_windows[1] == 0
+
+    def test_disabled_balancer_lets_hog_fill_gct(self, config):
+        cfg = config.replace(
+            balancer=dataclasses.replace(config.balancer, enabled=False))
+        core = SMTCore(cfg)
+        core.load([chain_source(), fx_source()])
+        core.step(20_000)
+        assert core.thread(0).gct_held >= cfg.gct_groups - 2
+
+    def test_balancer_helps_the_victim(self, config):
+        def victim_retired(enabled):
+            cfg = config.replace(balancer=dataclasses.replace(
+                config.balancer, enabled=enabled))
+            core = SMTCore(cfg)
+            core.load([mem_hog_source(config), fx_source()])
+            core.step(40_000)
+            return core.thread(1).retired
+        assert victim_retired(True) > victim_retired(False)
+
+    def test_flush_rewinds_consistently(self, config):
+        # After flushes, the victim thread's retired count still only
+        # grows and repetition ends stay ordered.
+        core = SMTCore(config)
+        core.load([mem_hog_source(config), fx_source()])
+        last = 0
+        for _ in range(40):
+            core.step(1000)
+            th = core.thread(0)
+            assert th.retired >= last
+            last = th.retired
+            ends = list(th.rep_end_times)
+            assert ends == sorted(ends)

@@ -1,0 +1,110 @@
+"""Property-based fuzzing of the SMT core with random traces.
+
+Hypothesis generates arbitrary (valid) instruction traces and priority
+pairs; the core must uphold its structural invariants on all of them:
+bounded GCT occupancy, monotone accounting, retirement never ahead of
+decode, and clean termination of finite workloads.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import POWER5
+from repro.core import SMTCore
+from repro.isa import FixedTraceSource, Instruction, OpClass, Trace
+
+_CONFIG = POWER5.small()
+
+regs = st.integers(min_value=0, max_value=63)
+maybe_reg = st.one_of(st.just(-1), regs)
+addrs = st.integers(min_value=0, max_value=1 << 22)
+
+
+def _instruction(draw_op, dst, s1, s2, addr, taken):
+    op = draw_op
+    if op is OpClass.LOAD:
+        return Instruction(op, dst, s1, -1, addr)
+    if op is OpClass.STORE:
+        return Instruction(op, -1, max(s1, 0), s2, addr)
+    if op is OpClass.BRANCH:
+        return Instruction(op, -1, s1, -1, -1, 1 if taken else 0)
+    if op in (OpClass.NOP, OpClass.PRIO_NOP):
+        return Instruction(OpClass.NOP)
+    return Instruction(op, dst, s1, s2)
+
+
+instructions = st.builds(
+    _instruction,
+    st.sampled_from(list(OpClass)),
+    regs, maybe_reg, maybe_reg, addrs, st.booleans())
+
+traces = st.lists(instructions, min_size=1, max_size=60)
+priorities = st.integers(min_value=0, max_value=7)
+
+
+def _source(items, name):
+    return FixedTraceSource(Trace(name, items))
+
+
+class TestCoreInvariantsUnderFuzz:
+    @given(traces, traces, priorities, priorities)
+    @settings(max_examples=40, deadline=None)
+    def test_structural_invariants(self, t0, t1, p0, p1):
+        core = SMTCore(_CONFIG)
+        core.load([_source(t0, "a"), _source(t1, "b")],
+                  priorities=(p0, p1))
+        last = [0, 0]
+        for _ in range(8):
+            core.step(256)
+            held = 0
+            for tid in (0, 1):
+                th = core.thread(tid)
+                held += th.gct_held
+                # Retirement is bounded by decode.
+                assert th.retired <= th.decoded
+                # Progress counters are monotone.
+                assert th.retired >= last[tid]
+                last[tid] = th.retired
+                # Repetition accounting is ordered and consistent.
+                ends = list(th.rep_end_times)
+                assert ends == sorted(ends)
+                assert len(th.rep_end_times) == len(th.rep_end_retired)
+                assert th.gct_held == len(th.inflight)
+            assert held <= _CONFIG.gct_groups
+
+    @given(traces, priorities)
+    @settings(max_examples=30, deadline=None)
+    def test_single_thread_progress_or_off(self, t0, p0):
+        core = SMTCore(_CONFIG)
+        core.load([_source(t0, "a")], priorities=(p0, 0))
+        core.step(4096)
+        th = core.thread(0)
+        if p0 == 0:
+            assert th.retired == 0
+        else:
+            assert th.retired > 0
+
+    @given(traces, traces)
+    @settings(max_examples=20, deadline=None)
+    def test_result_snapshot_consistent(self, t0, t1):
+        core = SMTCore(_CONFIG)
+        core.load([_source(t0, "a"), _source(t1, "b")])
+        core.step(1024)
+        result = core.result()
+        for tr in result.threads:
+            assert 0.0 <= tr.ipc <= 5.0 + 1e-9
+            assert tr.retired >= tr.accounted_retired - tr.retired \
+                or tr.accounted_retired <= tr.retired
+        assert result.total_ipc >= 0.0
+
+    @given(traces)
+    @settings(max_examples=20, deadline=None)
+    def test_determinism(self, t0):
+        runs = []
+        for _ in range(2):
+            core = SMTCore(_CONFIG)
+            core.load([_source(t0, "a"), _source(t0[::-1] or t0, "b")])
+            core.step(2048)
+            runs.append((core.thread(0).retired,
+                         core.thread(1).retired))
+        assert runs[0] == runs[1]

@@ -1,0 +1,194 @@
+"""Tests for the experiment harness (reduced-scale runs)."""
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    ExperimentContext,
+    priority_pair,
+    run_experiment,
+    run_table1,
+)
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.report import render_series, render_table
+from repro.experiments.table3 import run_table3
+from repro.experiments.table4 import run_table4
+
+#: A 2-benchmark subset keeps harness tests fast while covering the
+#: cpu-bound/memory-bound contrast.
+SUBSET = ("cpu_int", "ldint_mem")
+
+
+@pytest.fixture(scope="module")
+def ctx(config):
+    return ExperimentContext(config=config, min_repetitions=3,
+                             max_cycles=1_500_000)
+
+
+class TestPriorityPairs:
+    def test_baseline(self):
+        assert priority_pair(0) == (4, 4)
+
+    @pytest.mark.parametrize("diff,expected", [
+        (1, (5, 4)), (2, (6, 4)), (5, (6, 1)),
+        (-1, (4, 5)), (-5, (1, 6)),
+    ])
+    def test_differences(self, diff, expected):
+        assert priority_pair(diff) == expected
+        assert expected[0] - expected[1] == diff
+
+    def test_unsupported_difference(self):
+        with pytest.raises(ValueError):
+            priority_pair(7)
+
+    def test_all_pairs_in_supervisor_range(self):
+        from repro.experiments import PRIORITY_PAIRS
+        for p, s in PRIORITY_PAIRS.values():
+            assert 1 <= p <= 6 and 1 <= s <= 6
+
+
+class TestContextCaching:
+    def test_pair_memoised(self, ctx):
+        a = ctx.pair("cpu_int", "ldint_mem", (4, 4))
+        runs_before = ctx.cached_runs()
+        b = ctx.pair("cpu_int", "ldint_mem", (4, 4))
+        assert a is b
+        assert ctx.cached_runs() == runs_before
+
+    def test_single_memoised(self, ctx):
+        a = ctx.single("cpu_int")
+        assert ctx.single("cpu_int") is a
+
+    def test_spec_workloads_resolvable(self, ctx):
+        metrics = ctx.single("mcf")
+        assert metrics.ipc > 0
+
+    def test_total_ipc(self, ctx):
+        pm = ctx.pair("cpu_int", "ldint_mem", (4, 4))
+        assert pm.total_ipc == pytest.approx(
+            pm.primary.ipc + pm.secondary.ipc)
+
+
+class TestRenderers:
+    def test_render_table_alignment(self):
+        out = render_table(["a", "bb"], [["x", 1.5], ["yy", 0.25]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "1.500" in out and "0.250" in out
+
+    def test_render_table_title(self):
+        assert render_table(["h"], [["v"]], title="T").startswith("T\n")
+
+    def test_render_series(self):
+        out = render_series("s", ["+1", "+2"], [1.0, 2.0])
+        assert out == "s: +1=1.000 +2=2.000"
+
+    def test_small_and_large_number_formats(self):
+        out = render_table(["x"], [[0.0001], [1234.5]])
+        assert "0.0001" in out and "1234.5" in out
+
+
+class TestExperimentRuns:
+    def test_table1_conformance(self):
+        report = run_table1(None)
+        assert not report.data["failures"]
+        assert "or 31,31,31" in report.text
+        assert len(report.data["rows"]) == 8
+
+    def test_table3_subset(self, ctx):
+        report = run_table3(ctx, benchmarks=SUBSET)
+        assert report.experiment_id == "table3"
+        st = report.data["st"]
+        assert st["cpu_int"] > 10 * st["ldint_mem"]
+        # SMT pt never exceeds ST for the same benchmark.
+        for (p, _s), (pt, _tt) in report.data["pairs"].items():
+            assert pt <= st[p] * 1.05
+
+    def test_figure2_speedups_positive(self, ctx):
+        report = run_figure2(ctx, benchmarks=SUBSET, diffs=(2, 4))
+        series = report.data["series"][("cpu_int", "ldint_mem")]
+        assert all(s >= 0.95 for s in series)
+        assert series[0] > 1.05  # cpu-bound gains from +2
+
+    def test_figure3_slowdowns(self, ctx):
+        report = run_figure3(ctx, benchmarks=SUBSET, diffs=(-2, -4))
+        cpu = report.data["series"][("cpu_int", "ldint_mem")]
+        mem = report.data["series"][("ldint_mem", "cpu_int")]
+        assert cpu[-1] > 5.0     # cpu-bound crushed at -4
+        assert mem[-1] < 2.5     # mem-bound barely affected (paper)
+
+    def test_figure4_throughput_gain(self, ctx):
+        report = run_figure4(ctx, benchmarks=SUBSET, diffs=(2, 0))
+        series = report.data["series"][("cpu_int", "ldint_mem")]
+        assert series[1] == pytest.approx(1.0)  # baseline point
+        assert series[0] > 1.0  # prioritizing the high-IPC thread wins
+
+    def test_figure5_case_study(self, ctx):
+        report = run_figure5(ctx, pairs=(("h264ref", "mcf"),),
+                             diffs=(0, 2))
+        series = report.data[("h264ref", "mcf")]
+        assert series[1]["gain"] > 0.02
+
+    def test_table4_pipeline(self, ctx):
+        report = run_table4(ctx, priorities=((4, 4), (5, 4)),
+                            iterations=6)
+        assert report.data["st"]["fft"] > report.data["st"]["lu"]
+        assert report.data["runs"][1]["iteration"] <= \
+            report.data["runs"][0]["iteration"] * 1.02
+
+    def test_figure6_transparency(self, ctx):
+        report = run_figure6(ctx, benchmarks=SUBSET)
+        # Foreground at priority 6 with a priority-1 background stays
+        # near its single-thread time.
+        rel = report.data["ab"][(6, "cpu_int", "cpu_int")]
+        assert rel < 1.25
+        # Background threads do make some progress.
+        assert report.data["d"][("cpu_int", 6)] > 0.0
+
+    def test_registry_contains_all_artifacts(self):
+        # Every table/figure of the paper, plus the two extensions.
+        assert set(EXPERIMENTS) == {
+            "table1", "figure1", "table3", "figure2", "figure3",
+            "figure4", "figure5", "table4", "figure6", "noise",
+            "modelcheck"}
+
+    def test_figure1_fame_accounting(self, ctx):
+        from repro.experiments.figure1 import run_figure1
+        report = run_figure1(ctx, min_repetitions=5)
+        slow, fast = report.data["slow"], report.data["fast"]
+        # Both reach the quota; the faster benchmark re-executes more.
+        assert slow["repetitions"] >= 5
+        assert fast["repetitions"] > slow["repetitions"]
+        # The trailing incomplete execution is discarded.
+        assert fast["accounted_cycles"] <= report.data["total_cycles"]
+        assert fast["avg_rep_cycles"] < slow["avg_rep_cycles"]
+
+    def test_noise_experiment(self, ctx):
+        from repro.experiments.noise import run_noise
+        report = run_noise(ctx)
+        stock = report.data["stock kernel, ticks on core"]
+        patched = report.data["patched kernel, ticks on core"]
+        # Stock kernel wipes the (6,1) setting; the patch preserves it.
+        assert stock["final_priorities"] == (4, 4)
+        assert patched["final_priorities"] == (6, 1)
+        assert patched["ratio"] > 5 * stock["ratio"]
+
+    def test_modelcheck_agreement(self, ctx):
+        from repro.experiments.modelcheck import run_modelcheck
+        report = run_modelcheck(ctx, benchmarks=("cpu_int",
+                                                 "ldint_mem"))
+        for name in ("cpu_int", "ldint_mem"):
+            for point in report.data[name]:
+                assert abs(point["error"]) < 0.6
+
+    def test_run_experiment_unknown_id(self):
+        with pytest.raises(ValueError):
+            run_experiment("table9")
+
+    def test_report_str_includes_reference(self):
+        report = run_table1(None)
+        assert "Table 1" in str(report)

@@ -1,0 +1,161 @@
+"""Integration tests: the paper's headline claims, end to end.
+
+Each test states a conclusion from the paper (abstract / section 5)
+and checks that the reproduction exhibits it.  Magnitude tolerances
+are loose -- the substrate is a simulator, not the authors' machine --
+but directions, orderings and crossover points must hold.
+"""
+
+import pytest
+
+
+class TestPriorityMechanism:
+    """Section 3.2 / Table 1 behaviours at the system level."""
+
+    def test_default_priorities_split_progress_evenly(self, measured):
+        fame = measured.pair("cpu_int", "cpu_int")
+        assert fame.thread(0).ipc == pytest.approx(fame.thread(1).ipc,
+                                                   rel=0.1)
+
+    def test_positive_priority_helps_negative_hurts(self, measured):
+        base = measured.pair("cpu_int", "cpu_int", (4, 4))
+        up = measured.pair("cpu_int", "cpu_int", (6, 2))
+        down = measured.pair("cpu_int", "cpu_int", (2, 6))
+        assert up.thread(0).ipc > base.thread(0).ipc
+        assert down.thread(0).ipc < base.thread(0).ipc
+
+
+class TestAsymmetry:
+    """Section 5: negative priorities hurt far more than positive help."""
+
+    def test_asymmetric_impact(self, measured):
+        base = measured.pair("cpu_int", "cpu_int", (4, 4))
+        base_t = base.thread(0).avg_repetition_cycles
+        gain = base_t / measured.pair(
+            "cpu_int", "cpu_int", (6, 2)).thread(0).avg_repetition_cycles
+        loss = measured.pair(
+            "cpu_int", "cpu_int",
+            (2, 6)).thread(0).avg_repetition_cycles / base_t
+        assert loss > 3 * gain
+
+    def test_starvation_order_of_magnitude(self, measured):
+        # "performance can decrease up to 42x (vs mem) / 20x (vs cpu)".
+        base = measured.pair("cpu_int", "cpu_int", (4, 4))
+        starved = measured.pair("cpu_int", "cpu_int", (1, 6))
+        ratio = (starved.thread(0).avg_repetition_cycles
+                 / base.thread(0).avg_repetition_cycles)
+        assert 10 < ratio < 100
+
+
+class TestWorkloadDependence:
+    """Abstract: the impact depends on what is co-scheduled."""
+
+    def test_cpu_bound_gains_more_than_memory_bound(self, measured):
+        def gain(name, partner):
+            base = measured.pair(name, partner, (4, 4))
+            up = measured.pair(name, partner, (6, 2))
+            return (base.thread(0).avg_repetition_cycles
+                    / up.thread(0).avg_repetition_cycles)
+        assert gain("cpu_int", "lng_chain_cpuint") > 1.5
+        assert gain("ldint_mem", "cpu_int") < 1.2
+
+    def test_memory_bound_sensitive_only_vs_memory_bound(self, measured):
+        base_mm = measured.pair("ldint_mem", "ldint_mem", (4, 4))
+        up_mm = measured.pair("ldint_mem", "ldint_mem", (6, 2))
+        gain_mm = (base_mm.thread(0).avg_repetition_cycles
+                   / up_mm.thread(0).avg_repetition_cycles)
+        # Paper: ~1.7x gain for mem vs mem, ~none vs cpu partners.
+        assert gain_mm > 1.3
+
+    def test_long_latency_thread_less_affected_by_reduction(
+            self, measured):
+        def slowdown(name, partner):
+            base = measured.pair(name, partner, (4, 4))
+            down = measured.pair(name, partner, (2, 6))
+            return (down.thread(0).avg_repetition_cycles
+                    / base.thread(0).avg_repetition_cycles)
+        assert slowdown("ldint_mem", "cpu_int") < 2.5   # paper: < 2.5x
+        assert slowdown("cpu_int", "cpu_int") > 3.0
+
+
+class TestSaturation:
+    """Section 5.1: +2 reaches ~95% of the maximum benefit."""
+
+    def test_plus_two_near_saturation_for_cpu_bound(self, measured):
+        base = measured.pair("cpu_int", "lng_chain_cpuint", (4, 4))
+        base_t = base.thread(0).avg_repetition_cycles
+        speed = {}
+        for diff, prios in ((2, (6, 4)), (4, (6, 2))):
+            r = measured.pair("cpu_int", "lng_chain_cpuint", prios)
+            speed[diff] = base_t / r.thread(0).avg_repetition_cycles
+        assert speed[2] >= 0.80 * speed[4]
+
+
+class TestThroughput:
+    """Section 5.3: prioritizing the higher-IPC thread helps total IPC."""
+
+    def test_throughput_improves_with_right_prioritization(self, measured):
+        base = measured.pair("cpu_int", "lng_chain_cpuint", (4, 4))
+        up = measured.pair("cpu_int", "lng_chain_cpuint", (6, 2))
+        assert up.total_ipc > 1.2 * base.total_ipc
+
+    def test_wrong_prioritization_hurts_throughput(self, measured):
+        base = measured.pair("cpu_int", "lng_chain_cpuint", (4, 4))
+        down = measured.pair("cpu_int", "lng_chain_cpuint", (2, 6))
+        assert down.total_ipc < base.total_ipc
+
+    def test_throughput_can_approach_2x(self, measured):
+        # "IPC throughput improves up to 2x using software priorities".
+        base = measured.pair("cpu_int", "lng_chain_cpuint", (4, 4))
+        best = max(
+            measured.pair("cpu_int", "lng_chain_cpuint", p).total_ipc
+            for p in ((5, 4), (6, 4), (6, 2)))
+        assert best / base.total_ipc > 1.35
+
+
+class TestTransparentExecution:
+    """Section 5.5: a priority-1 background runs nearly transparently."""
+
+    @pytest.mark.parametrize("fg", ["cpu_fp", "lng_chain_cpuint"])
+    def test_low_ipc_foreground_barely_affected(self, measured, fg):
+        st = measured.single(fg).thread(0).avg_repetition_cycles
+        with_bg = measured.pair(fg, "ldint_mem", (6, 1))
+        assert with_bg.thread(0).avg_repetition_cycles < 1.15 * st
+
+    def test_background_still_progresses(self, measured):
+        with_bg = measured.pair("cpu_fp", "ldint_mem", (6, 1))
+        assert with_bg.thread(1).ipc > 0.001
+
+    def test_high_ipc_foreground_more_sensitive(self, measured):
+        def rel(fg):
+            st = measured.single(fg).thread(0).avg_repetition_cycles
+            r = measured.pair(fg, "ldint_mem", (6, 1))
+            return r.thread(0).avg_repetition_cycles / st
+        # Paper: ldint_l1/cpu_int are the most affected foregrounds.
+        assert rel("ldint_l1") >= rel("cpu_fp") - 0.02
+
+
+class TestCaseStudies:
+    """Section 5.3.1 / 5.4.1 at reduced scale."""
+
+    def test_h264_mcf_throughput_gain(self, config):
+        from repro.experiments import ExperimentContext
+        ctx = ExperimentContext(config=config, min_repetitions=3,
+                                max_cycles=1_500_000)
+        base = ctx.pair("h264ref", "mcf", (4, 4))
+        best = max(ctx.pair("h264ref", "mcf", p).total_ipc
+                   for p in ((6, 4), (6, 2)))
+        gain = best / base.total_ipc - 1
+        # Paper: +23.7% peak; accept a broad band around it.
+        assert 0.05 < gain < 0.80
+
+    def test_pipeline_best_is_moderate_priority(self, config):
+        from repro.workloads import SoftwarePipeline
+        pipe = SoftwarePipeline(config=config)
+        runs = {p: pipe.run(priorities=p, iterations=8)
+                for p in ((4, 4), (5, 4), (6, 3))}
+        best = min(runs, key=lambda p: runs[p].iteration_cycles)
+        assert best == (5, 4)
+        # Over-prioritization inverts the imbalance (paper Table 4).
+        assert runs[(6, 3)].iteration_cycles > \
+            runs[(5, 4)].iteration_cycles

@@ -1,0 +1,117 @@
+"""Unit tests for the instruction model."""
+
+import pytest
+
+from repro.isa import (
+    NO_ADDR,
+    NO_REG,
+    Instruction,
+    OpClass,
+    branch,
+    fp,
+    fx,
+    fx_mul,
+    load,
+    nop,
+    store,
+)
+
+
+class TestOpClass:
+    def test_eight_classes(self):
+        assert len(OpClass) == 8
+
+    def test_int_enum_values_stable(self):
+        # The core's hot loop relies on these integer values.
+        assert OpClass.FX == 0
+        assert OpClass.FX_MUL == 1
+        assert OpClass.FP == 2
+        assert OpClass.LOAD == 3
+        assert OpClass.STORE == 4
+        assert OpClass.BRANCH == 5
+        assert OpClass.NOP == 6
+        assert OpClass.PRIO_NOP == 7
+
+
+class TestConstructors:
+    def test_fx_sets_class_and_regs(self):
+        ins = fx(3, 1, 2)
+        assert ins.op is OpClass.FX
+        assert ins.dst == 3
+        assert (ins.src1, ins.src2) == (1, 2)
+        assert ins.addr == NO_ADDR
+
+    def test_fx_defaults_no_sources(self):
+        ins = fx(3)
+        assert ins.reads() == ()
+        assert ins.writes() == (3,)
+
+    def test_fx_mul_class(self):
+        assert fx_mul(1, 2).op is OpClass.FX_MUL
+
+    def test_fp_class(self):
+        assert fp(1, 2, 3).op is OpClass.FP
+
+    def test_load_carries_address_and_base(self):
+        ins = load(5, 0x1000, base=7)
+        assert ins.op is OpClass.LOAD
+        assert ins.addr == 0x1000
+        assert ins.dst == 5
+        assert ins.src1 == 7
+
+    def test_store_reads_its_source(self):
+        ins = store(5, 0x2000)
+        assert ins.op is OpClass.STORE
+        assert ins.dst == NO_REG
+        assert 5 in ins.reads()
+        assert ins.writes() == ()
+
+    def test_branch_outcome_encoding(self):
+        assert branch(True).aux == 1
+        assert branch(False).aux == 0
+
+    def test_nop_has_no_operands(self):
+        ins = nop()
+        assert ins.op is OpClass.NOP
+        assert ins.reads() == ()
+        assert ins.writes() == ()
+
+
+class TestInstructionPredicates:
+    def test_is_memory(self):
+        assert load(1, 0).is_memory()
+        assert store(1, 0).is_memory()
+        assert not fx(1).is_memory()
+        assert not branch(True).is_memory()
+
+    def test_reads_skips_no_reg(self):
+        assert fx(1, NO_REG, 4).reads() == (4,)
+
+    def test_instruction_is_tuple_like(self):
+        ins = load(5, 0x40)
+        assert ins[0] is OpClass.LOAD
+        assert ins[1] == 5
+        assert ins[4] == 0x40
+
+    def test_instructions_hashable_and_comparable(self):
+        assert load(1, 8) == load(1, 8)
+        assert load(1, 8) != load(1, 16)
+        assert len({fx(1), fx(1), fx(2)}) == 2
+
+    def test_default_instruction(self):
+        ins = Instruction(OpClass.NOP)
+        assert ins.dst == NO_REG
+        assert ins.aux == 0
+
+
+@pytest.mark.parametrize("ctor,opclass", [
+    (lambda: fx(1), OpClass.FX),
+    (lambda: fx_mul(1), OpClass.FX_MUL),
+    (lambda: fp(1), OpClass.FP),
+    (lambda: load(1, 0), OpClass.LOAD),
+    (lambda: store(1, 0), OpClass.STORE),
+    (lambda: branch(True), OpClass.BRANCH),
+    (lambda: nop(), OpClass.NOP),
+])
+def test_constructor_classes(ctor, opclass):
+    assert ctor().op is opclass

@@ -1,0 +1,72 @@
+"""Unit tests for the or-nop priority encodings (paper Table 1)."""
+
+import pytest
+
+from repro.isa import (
+    OR_REGISTER_TO_PRIORITY,
+    PRIORITY_TO_OR_REGISTER,
+    Instruction,
+    OpClass,
+    PriorityEncodingError,
+    decode_priority_nop,
+    encode_priority_nop,
+    is_priority_nop,
+    nop,
+)
+
+#: The exact Table 1 encodings.
+TABLE1 = {1: 31, 2: 1, 3: 6, 4: 2, 5: 5, 6: 3, 7: 7}
+
+
+class TestTable1Encodings:
+    def test_exact_paper_mapping(self):
+        assert PRIORITY_TO_OR_REGISTER == TABLE1
+
+    def test_reverse_mapping_consistent(self):
+        for prio, reg in TABLE1.items():
+            assert OR_REGISTER_TO_PRIORITY[reg] == prio
+
+    def test_priority_zero_has_no_encoding(self):
+        assert 0 not in PRIORITY_TO_OR_REGISTER
+
+    @pytest.mark.parametrize("priority", sorted(TABLE1))
+    def test_round_trip(self, priority):
+        assert decode_priority_nop(encode_priority_nop(priority)) \
+            == priority
+
+    @pytest.mark.parametrize("priority", sorted(TABLE1))
+    def test_encoding_is_or_x_x_x(self, priority):
+        ins = encode_priority_nop(priority)
+        reg = TABLE1[priority]
+        assert ins.op is OpClass.PRIO_NOP
+        assert (ins.dst, ins.src1, ins.src2) == (reg, reg, reg)
+        assert ins.aux == reg
+
+
+class TestEncodingErrors:
+    @pytest.mark.parametrize("bad", [0, 8, -1, 100])
+    def test_encode_rejects_unencodable(self, bad):
+        with pytest.raises(PriorityEncodingError):
+            encode_priority_nop(bad)
+
+    def test_decode_rejects_non_prio_nop(self):
+        with pytest.raises(PriorityEncodingError):
+            decode_priority_nop(nop())
+
+    def test_decode_rejects_unknown_register(self):
+        bogus = Instruction(OpClass.PRIO_NOP, 9, 9, 9, aux=9)
+        with pytest.raises(PriorityEncodingError):
+            decode_priority_nop(bogus)
+
+
+class TestIsPriorityNop:
+    def test_recognises_valid_forms(self):
+        for priority in TABLE1:
+            assert is_priority_nop(encode_priority_nop(priority))
+
+    def test_rejects_plain_nop(self):
+        assert not is_priority_nop(nop())
+
+    def test_rejects_unknown_register(self):
+        bogus = Instruction(OpClass.PRIO_NOP, 9, 9, 9, aux=9)
+        assert not is_priority_nop(bogus)

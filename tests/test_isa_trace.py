@@ -1,0 +1,166 @@
+"""Unit tests for traces, trace sources and the builder DSL."""
+
+import pytest
+
+from repro.isa import (
+    FixedTraceSource,
+    OpClass,
+    Trace,
+    TraceBuilder,
+    TraceSource,
+    fx,
+    load,
+    nop,
+    repeat_body,
+    store,
+)
+from repro.isa.registers import (
+    NUM_GPRS,
+    NUM_REGS,
+    fpr,
+    gpr,
+    is_fpr,
+    register_name,
+)
+
+
+class TestRegisters:
+    def test_gpr_range(self):
+        assert gpr(0) == 0
+        assert gpr(31) == 31
+        with pytest.raises(ValueError):
+            gpr(32)
+        with pytest.raises(ValueError):
+            gpr(-1)
+
+    def test_fpr_offset(self):
+        assert fpr(0) == NUM_GPRS
+        assert fpr(31) == NUM_REGS - 1
+        with pytest.raises(ValueError):
+            fpr(32)
+
+    def test_is_fpr(self):
+        assert not is_fpr(gpr(5))
+        assert is_fpr(fpr(5))
+
+    def test_register_names(self):
+        assert register_name(gpr(5)) == "r5"
+        assert register_name(fpr(12)) == "f12"
+        with pytest.raises(ValueError):
+            register_name(NUM_REGS)
+
+
+class TestTrace:
+    def test_sequence_protocol(self):
+        t = Trace("t", [fx(1), fx(2), fx(3)])
+        assert len(t) == 3
+        assert t[1].dst == 2
+        assert [i.dst for i in t] == [1, 2, 3]
+
+    def test_slice_returns_trace(self):
+        t = Trace("t", [fx(1), fx(2), fx(3)])
+        sub = t[1:]
+        assert isinstance(sub, Trace)
+        assert len(sub) == 2
+
+    def test_concatenation(self):
+        t = Trace("a", [fx(1)]) + Trace("b", [fx(2)])
+        assert len(t) == 2
+        assert "a" in t.name and "b" in t.name
+
+    def test_repetition_operator(self):
+        t = Trace("t", [fx(1), fx(2)]) * 3
+        assert len(t) == 6
+
+    def test_negative_repetition_rejected(self):
+        with pytest.raises(ValueError):
+            Trace("t", [fx(1)]) * -1
+
+    def test_mix(self):
+        t = Trace("t", [fx(1), load(2, 0), load(3, 8), store(2, 0)])
+        mix = t.mix()
+        assert mix[OpClass.LOAD] == 2
+        assert mix[OpClass.STORE] == 1
+        assert mix[OpClass.FX] == 1
+
+    def test_memory_fraction(self):
+        t = Trace("t", [fx(1), load(2, 0), store(2, 0), fx(3)])
+        assert t.memory_fraction() == pytest.approx(0.5)
+
+    def test_empty_trace_fractions(self):
+        t = Trace("t", [])
+        assert t.memory_fraction() == 0.0
+        assert t.branch_fraction() == 0.0
+
+    def test_immutability(self):
+        t = Trace("t", [fx(1)])
+        with pytest.raises(TypeError):
+            t[0] = nop()  # type: ignore[index]
+
+
+class TestFixedTraceSource:
+    def test_is_trace_source(self):
+        src = FixedTraceSource(Trace("t", [fx(1)]))
+        assert isinstance(src, TraceSource)
+
+    def test_same_trace_every_repetition(self):
+        src = FixedTraceSource(Trace("t", [fx(1)]))
+        assert src.repetition(0) is src.repetition(99)
+
+    def test_name_from_trace(self):
+        assert FixedTraceSource(Trace("abc", [fx(1)])).name == "abc"
+
+
+class TestTraceBuilder:
+    def test_chaining(self):
+        t = (TraceBuilder().fx(1).fp(2).load(3, 0).store(3, 0)
+             .branch(True).nop().build("x"))
+        assert [i.op for i in t] == [
+            OpClass.FX, OpClass.FP, OpClass.LOAD, OpClass.STORE,
+            OpClass.BRANCH, OpClass.NOP]
+
+    def test_priority_nop_emission(self):
+        t = TraceBuilder().priority_nop(6).build("p")
+        assert t[0].op is OpClass.PRIO_NOP
+        assert t[0].aux == 3  # or 3,3,3 is priority 6
+
+    def test_loop_overhead_shape(self):
+        t = TraceBuilder().loop_overhead(6, taken=True).build("l")
+        assert [i.op for i in t] == [OpClass.FX, OpClass.FX,
+                                     OpClass.BRANCH]
+        assert t[2].aux == 1
+
+    def test_len_tracks_emissions(self):
+        b = TraceBuilder()
+        assert len(b) == 0
+        b.fx(1).fx(2)
+        assert len(b) == 2
+
+    def test_instructions_returns_copy(self):
+        b = TraceBuilder().fx(1)
+        instrs = b.instructions()
+        instrs.append(nop())
+        assert len(b) == 1
+
+
+class TestRepeatBody:
+    def test_unrolls_iterations(self):
+        body = [fx(1), fx(2)]
+        t = repeat_body("r", body, 3, counter_reg=6)
+        # 3 iterations x (2 body + 3 overhead)
+        assert len(t) == 15
+
+    def test_last_branch_falls_through(self):
+        t = repeat_body("r", [fx(1)], 2, counter_reg=6)
+        branches = [i for i in t if i.op is OpClass.BRANCH]
+        assert [b.aux for b in branches] == [1, 0]
+
+    def test_no_overhead_option(self):
+        t = repeat_body("r", [fx(1)], 4, counter_reg=6,
+                        loop_overhead=False)
+        assert len(t) == 4
+        assert t.branch_fraction() == 0.0
+
+    def test_zero_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            repeat_body("r", [fx(1)], 0, counter_reg=6)

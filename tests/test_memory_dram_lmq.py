@@ -1,0 +1,125 @@
+"""Unit tests for the DRAM bus and the load-miss queue."""
+
+import pytest
+
+from repro.config import MemoryConfig
+from repro.memory import DRAM, LoadMissQueue
+
+
+def make_dram(latency=200, gap=50):
+    return DRAM(MemoryConfig(dram_latency=latency, dram_bus_gap=gap))
+
+
+class TestDRAM:
+    def test_single_access_latency(self):
+        d = make_dram(latency=200)
+        assert d.access(start=10, now=0) == 210
+
+    def test_bus_serialization(self):
+        d = make_dram(latency=200, gap=50)
+        first = d.access(0, 0)
+        second = d.access(0, 0)  # wants the bus at the same time
+        assert first == 200
+        assert second == 250  # pushed one gap later
+
+    def test_spaced_accesses_do_not_queue(self):
+        d = make_dram(latency=200, gap=50)
+        d.access(0, 0)
+        assert d.access(60, 0) == 260
+        assert d.total_queue_cycles == 0
+
+    def test_future_access_does_not_block_earlier_one(self):
+        # The decode-order inversion bug: a chain access scheduled far
+        # in the future must not delay one that is ready now.
+        d = make_dram(latency=200, gap=50)
+        d.access(1000, 0)             # future transfer
+        assert d.access(0, 0) == 200  # unaffected
+
+    def test_earlier_gap_window_respected(self):
+        d = make_dram(latency=200, gap=50)
+        d.access(100, 0)
+        # Wants the bus at 80: within 50 of the transfer at 100.
+        assert d.access(80, 0) == 150 + 200
+
+    def test_saturated_stream_spaces_by_gap(self):
+        d = make_dram(latency=100, gap=30)
+        completes = [d.access(0, 0) for _ in range(5)]
+        assert completes == [100, 130, 160, 190, 220]
+
+    def test_thread_accounting(self):
+        d = make_dram()
+        d.access(0, 0, thread_id=1)
+        d.access(0, 0, thread_id=1)
+        assert d.thread_accesses == [0, 2]
+
+    def test_pruning_bounds_state(self):
+        d = make_dram(gap=10)
+        for t in range(0, 20000, 100):
+            d.access(t, t)
+        assert d.scheduled_transfers() < 200
+
+    def test_reset(self):
+        d = make_dram()
+        d.access(0, 0)
+        d.reset()
+        assert d.accesses == 0
+        assert d.access(0, 0) == d.config.dram_latency
+
+
+class TestLoadMissQueue:
+    def test_free_slot_immediate(self):
+        q = LoadMissQueue(2)
+        assert q.acquire(start=5, now=0) == 5
+
+    def test_full_queue_waits_for_earliest_release(self):
+        q = LoadMissQueue(2)
+        q.acquire(0, 0)
+        q.fill(100)
+        q.acquire(0, 0)
+        q.fill(150)
+        # Both slots busy over [0,100) and [0,150).
+        assert q.acquire(10, 0) == 100
+        q.fill(300)
+
+    def test_interval_semantics_future_slot_free_now(self):
+        q = LoadMissQueue(1)
+        q.acquire(500, 0)
+        q.fill(700)  # busy only during [500, 700)
+        assert q.acquire(0, 0) == 0  # free right now
+        q.fill(100)
+
+    def test_occupancy_and_is_full(self):
+        q = LoadMissQueue(2)
+        q.acquire(0, 0)
+        q.fill(50)
+        assert q.occupancy(10) == 1
+        assert not q.is_full(10)
+        q.acquire(0, 0)
+        q.fill(60)
+        assert q.is_full(10)
+        assert not q.is_full(70)
+
+    def test_wait_cycles_accounted(self):
+        q = LoadMissQueue(1)
+        q.acquire(0, 0)
+        q.fill(80)
+        q.acquire(20, 0)
+        q.fill(160)
+        assert q.total_wait_cycles == 60
+
+    def test_needs_at_least_one_entry(self):
+        with pytest.raises(ValueError):
+            LoadMissQueue(0)
+
+    def test_thread_accounting(self):
+        q = LoadMissQueue(4)
+        q.acquire(0, 0, thread_id=1)
+        q.fill(10)
+        assert q.thread_acquisitions == [0, 1]
+
+    def test_reset(self):
+        q = LoadMissQueue(1)
+        q.acquire(0, 0)
+        q.fill(1000)
+        q.reset()
+        assert q.acquire(0, 0) == 0

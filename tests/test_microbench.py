@@ -1,0 +1,160 @@
+"""Structural tests of the Table 2 micro-benchmark suite."""
+
+import pytest
+
+from repro.isa import OpClass
+from repro.microbench import (
+    EVALUATED_BENCHMARKS,
+    MICROBENCHMARKS,
+    BenchGroup,
+    LoadBenchmark,
+    benchmarks_in_group,
+    make_microbenchmark,
+)
+
+
+class TestSuiteRegistry:
+    def test_fifteen_benchmarks(self):
+        # Table 2 defines 15 kernels.
+        assert len(MICROBENCHMARKS) == 15
+
+    def test_expected_names_present(self):
+        expected = {
+            "cpu_int", "cpu_int_add", "cpu_int_mul", "lng_chain_cpuint",
+            "cpu_fp", "br_hit", "br_miss",
+            "ldint_l1", "ldint_l2", "ldint_l3", "ldint_mem",
+            "ldfp_l1", "ldfp_l2", "ldfp_l3", "ldfp_mem",
+        }
+        assert set(MICROBENCHMARKS) == expected
+
+    def test_evaluated_subset(self):
+        assert set(EVALUATED_BENCHMARKS) <= set(MICROBENCHMARKS)
+        assert len(EVALUATED_BENCHMARKS) == 6
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_microbenchmark("nope")
+
+    def test_groups_cover_table2(self):
+        assert set(benchmarks_in_group(BenchGroup.INTEGER)) == {
+            "cpu_int", "cpu_int_add", "cpu_int_mul", "lng_chain_cpuint"}
+        assert benchmarks_in_group(BenchGroup.FLOATING_POINT) == ["cpu_fp"]
+        assert len(benchmarks_in_group(BenchGroup.MEMORY)) == 8
+        assert set(benchmarks_in_group(BenchGroup.BRANCH)) == {
+            "br_hit", "br_miss"}
+
+
+class TestTraceStructure:
+    @pytest.mark.parametrize("name", sorted(MICROBENCHMARKS))
+    def test_every_benchmark_builds_nonempty(self, config, name):
+        bench = make_microbenchmark(name, config)
+        trace = bench.repetition(0)
+        assert len(trace) > 0
+
+    @pytest.mark.parametrize("name", sorted(MICROBENCHMARKS))
+    def test_deterministic_per_repetition_index(self, config, name):
+        bench = make_microbenchmark(name, config)
+        again = make_microbenchmark(name, config)
+        assert list(bench.repetition(3)) == list(again.repetition(3))
+
+    def test_integer_kernels_are_pure_compute(self, config):
+        for name in ("cpu_int", "cpu_int_add", "cpu_int_mul",
+                     "lng_chain_cpuint"):
+            trace = make_microbenchmark(name, config).trace()
+            assert trace.memory_fraction() == 0.0
+
+    def test_cpu_fp_uses_fp_ops(self, config):
+        mix = make_microbenchmark("cpu_fp", config).trace().mix()
+        assert mix.get(OpClass.FP, 0) > 0
+        assert OpClass.FX_MUL not in mix
+
+    def test_memory_kernels_are_load_store_heavy(self, config):
+        for name in ("ldint_l1", "ldint_l2", "ldint_mem"):
+            trace = make_microbenchmark(name, config).trace()
+            assert trace.memory_fraction() > 0.4
+
+    def test_branch_kernels_branch_often(self, config):
+        for name in ("br_hit", "br_miss"):
+            trace = make_microbenchmark(name, config).trace()
+            assert trace.branch_fraction() > 0.15
+
+    def test_br_hit_fixed_across_reps(self, config):
+        bench = make_microbenchmark("br_hit", config)
+        assert list(bench.repetition(0)) == list(bench.repetition(5))
+
+    def test_br_miss_varies_across_reps(self, config):
+        bench = make_microbenchmark("br_miss", config)
+        r0 = [i.aux for i in bench.repetition(0)
+              if i.op is OpClass.BRANCH]
+        r1 = [i.aux for i in bench.repetition(1)
+              if i.op is OpClass.BRANCH]
+        assert r0 != r1
+
+    def test_br_miss_outcomes_roughly_balanced(self, config):
+        bench = make_microbenchmark("br_miss", config)
+        outcomes = [i.aux for i in bench.repetition(0)
+                    if i.op is OpClass.BRANCH]
+        taken = sum(outcomes) / len(outcomes)
+        assert 0.3 < taken < 0.7
+
+    def test_base_address_offsets_all_accesses(self, config):
+        base = 1 << 27
+        plain = make_microbenchmark("ldint_l2", config)
+        offset = make_microbenchmark("ldint_l2", config,
+                                     base_address=base)
+        for a, b in zip(plain.trace(), offset.trace()):
+            if a.is_memory():
+                assert b.addr == a.addr + base
+
+
+class TestLoadGeometry:
+    def test_l1_footprint_fits_in_l1(self, config):
+        bench = make_microbenchmark("ldint_l1", config)
+        assert bench.footprint <= config.l1d.size_bytes // 2
+
+    def test_l2_walk_defeats_l1(self, config):
+        bench = make_microbenchmark("ldint_l2", config)
+        l1_span = config.l1d.num_sets * config.l1d.line_bytes
+        assert bench.stride % l1_span == 0
+        # More lines per L1 set than ways -> every access misses L1.
+        per_l1_set = bench.loads_per_walk
+        assert per_l1_set > config.l1d.associativity
+
+    def test_l2_walk_fits_in_l2(self, config):
+        bench = make_microbenchmark("ldint_l2", config)
+        l2_span = config.l2.num_sets * config.l2.line_bytes
+        import math
+        distinct_sets = l2_span // math.gcd(bench.stride, l2_span)
+        per_set = bench.loads_per_walk / distinct_sets
+        assert per_set <= config.l2.associativity
+
+    def test_mem_walk_defeats_every_level(self, config):
+        bench = make_microbenchmark("ldint_mem", config)
+        for cache in (config.l1d, config.l2, config.l3):
+            span = cache.num_sets * cache.line_bytes
+            assert bench.stride % span == 0
+        assert bench.loads_per_walk > max(
+            config.l1d.associativity, config.l2.associativity,
+            config.l3.associativity)
+
+    def test_unknown_level_rejected(self, config):
+        with pytest.raises(ValueError):
+            LoadBenchmark("x", level="l4", config=config)
+
+    def test_fp_variant_uses_fp_registers(self, config):
+        from repro.isa.registers import is_fpr
+        trace = make_microbenchmark("ldfp_l2", config).trace()
+        fp_loads = [i for i in trace if i.op is OpClass.LOAD]
+        assert all(is_fpr(i.dst) for i in fp_loads)
+
+
+class TestIterationsParameter:
+    def test_custom_iterations_scale_trace(self, config):
+        small = make_microbenchmark("cpu_int", config, iterations=2)
+        large = make_microbenchmark("cpu_int", config, iterations=4)
+        assert len(large.trace()) == pytest.approx(
+            2 * len(small.trace()), rel=0.01)
+
+    def test_zero_iterations_rejected(self, config):
+        with pytest.raises(ValueError):
+            make_microbenchmark("cpu_int", config, iterations=0)

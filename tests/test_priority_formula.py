@@ -1,0 +1,70 @@
+"""Unit tests for Eq. (1) and the slot-share helpers."""
+
+import pytest
+
+from repro.priority import decode_slot_ratio, resource_factor, slot_share
+
+
+class TestDecodeSlotRatio:
+    def test_equal_priorities_give_two(self):
+        assert decode_slot_ratio(4, 4) == 2
+
+    def test_paper_example_6_vs_2(self):
+        # Paper section 3.2: PrioP=6, PrioS=2 -> R = 32, the core
+        # decodes 31 times from PThread and once from SThread.
+        assert decode_slot_ratio(6, 2) == 32
+
+    @pytest.mark.parametrize("p,s,expect", [
+        (5, 4, 4), (6, 4, 8), (6, 3, 16), (6, 2, 32), (6, 1, 64),
+        (4, 5, 4), (1, 6, 64),
+    ])
+    def test_ratio_table(self, p, s, expect):
+        assert decode_slot_ratio(p, s) == expect
+
+    def test_symmetric_in_difference(self):
+        for p in range(8):
+            for s in range(8):
+                assert decode_slot_ratio(p, s) == decode_slot_ratio(s, p)
+
+    @pytest.mark.parametrize("bad", [(-1, 4), (4, 8), (9, 9)])
+    def test_out_of_range_rejected(self, bad):
+        with pytest.raises(ValueError):
+            decode_slot_ratio(*bad)
+
+
+class TestSlotShare:
+    def test_equal_split(self):
+        assert slot_share(4, 4) == (0.5, 0.5)
+
+    def test_positive_difference_favours_primary(self):
+        share_p, share_s = slot_share(6, 2)
+        assert share_p == pytest.approx(31 / 32)
+        assert share_s == pytest.approx(1 / 32)
+
+    def test_negative_difference_favours_secondary(self):
+        share_p, share_s = slot_share(2, 6)
+        assert share_p == pytest.approx(1 / 32)
+        assert share_s == pytest.approx(31 / 32)
+
+    def test_shares_sum_to_one(self):
+        for p in range(8):
+            for s in range(8):
+                assert sum(slot_share(p, s)) == pytest.approx(1.0)
+
+    def test_monotone_in_difference(self):
+        shares = [slot_share(4 + d if d >= 0 else 4, 4 - min(d, 0))[0]
+                  for d in range(0, 4)]
+        shares = [slot_share(p, 4)[0] for p in range(4, 8)]
+        assert shares == sorted(shares)
+
+
+class TestResourceFactor:
+    def test_paper_93_75_percent_quote(self):
+        # At +4 a thread receives 31/32 of the slots: 93.75% more than
+        # the baseline half (paper section 5).
+        factor_p, factor_s = resource_factor(6, 2)
+        assert factor_p == pytest.approx(1.9375)
+        assert factor_s == pytest.approx(1 / 16)
+
+    def test_baseline_factor_is_one(self):
+        assert resource_factor(4, 4) == (1.0, 1.0)

@@ -1,0 +1,203 @@
+"""Property-based tests (hypothesis) on core data structures."""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.branch import BimodalBHT
+from repro.config import BranchConfig, CacheConfig, MemoryConfig
+from repro.core.fu import UnitPool
+from repro.isa import Trace, fx
+from repro.isa.priority_ops import (
+    OR_REGISTER_TO_PRIORITY,
+    encode_priority_nop,
+)
+from repro.memory import DRAM, LoadMissQueue, SetAssociativeCache
+from repro.priority import PrioritySlotArbiter, decode_slot_ratio, slot_share
+
+priorities = st.integers(min_value=0, max_value=7)
+normal_priorities = st.integers(min_value=2, max_value=6)
+
+
+class TestFormulaProperties:
+    @given(priorities, priorities)
+    def test_ratio_is_power_of_two(self, p, s):
+        r = decode_slot_ratio(p, s)
+        assert r >= 2
+        assert r & (r - 1) == 0
+
+    @given(priorities, priorities)
+    def test_shares_sum_to_one_and_order(self, p, s):
+        share_p, share_s = slot_share(p, s)
+        assert abs(share_p + share_s - 1.0) < 1e-12
+        if p > s:
+            assert share_p > share_s
+        elif p < s:
+            assert share_p < share_s
+        else:
+            assert share_p == share_s
+
+    @given(priorities, priorities)
+    def test_share_symmetry(self, p, s):
+        assert slot_share(p, s) == tuple(reversed(slot_share(s, p)))
+
+
+class TestArbiterProperties:
+    @given(normal_priorities, normal_priorities,
+           st.integers(min_value=1, max_value=64))
+    @settings(max_examples=60)
+    def test_owner_counts_match_ratio(self, p, s, periods):
+        arb = PrioritySlotArbiter(p, s)
+        ratio = decode_slot_ratio(p, s)
+        counts = Counter(arb.owner(c) for c in range(ratio * periods))
+        high = 0 if p >= s else 1
+        if p == s:
+            assert counts[0] == counts[1]
+        else:
+            assert counts[high] == (ratio - 1) * periods
+            assert counts[1 - high] == periods
+
+    @given(priorities, priorities)
+    def test_every_cycle_well_defined(self, p, s):
+        arb = PrioritySlotArbiter(p, s)
+        for c in range(100):
+            assert arb.owner(c) in (0, 1, None)
+
+    @given(priorities, priorities)
+    def test_shares_sum_at_most_one(self, p, s):
+        arb = PrioritySlotArbiter(p, s)
+        assert arb.share(0) + arb.share(1) <= 1.0 + 1e-12
+
+
+class TestPriorityNopProperties:
+    @given(st.integers(min_value=1, max_value=7))
+    def test_round_trip_all_encodable(self, priority):
+        ins = encode_priority_nop(priority)
+        assert OR_REGISTER_TO_PRIORITY[ins.aux] == priority
+
+
+class TestCacheProperties:
+    caches = st.sampled_from([
+        (512, 64, 2), (1024, 64, 4), (4096, 128, 4), (2048, 64, 8)])
+
+    @given(caches, st.lists(st.integers(min_value=0, max_value=1 << 20),
+                            min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_occupancy_never_exceeds_capacity(self, geom, addrs):
+        size, line, assoc = geom
+        cache = SetAssociativeCache(
+            CacheConfig(size_bytes=size, line_bytes=line,
+                        associativity=assoc, latency=1))
+        for t, addr in enumerate(addrs):
+            cache.access(addr, t)
+        assert cache.resident_lines() <= size // line
+
+    @given(caches, st.lists(st.integers(min_value=0, max_value=1 << 20),
+                            min_size=1, max_size=100))
+    @settings(max_examples=50)
+    def test_immediate_rereference_hits(self, geom, addrs):
+        size, line, assoc = geom
+        cache = SetAssociativeCache(
+            CacheConfig(size_bytes=size, line_bytes=line,
+                        associativity=assoc, latency=1))
+        for t, addr in enumerate(addrs):
+            cache.access(addr, 2 * t)
+            assert cache.access(addr, 2 * t + 1)
+
+    @given(caches, st.lists(st.integers(min_value=0, max_value=1 << 20),
+                            min_size=1, max_size=100))
+    @settings(max_examples=30)
+    def test_stats_are_consistent(self, geom, addrs):
+        size, line, assoc = geom
+        cache = SetAssociativeCache(
+            CacheConfig(size_bytes=size, line_bytes=line,
+                        associativity=assoc, latency=1))
+        for t, addr in enumerate(addrs):
+            cache.access(addr, t)
+        assert cache.stats.hits + cache.stats.misses == len(addrs)
+
+
+class TestUnitPoolProperties:
+    @given(st.integers(min_value=1, max_value=4),
+           st.lists(st.integers(min_value=0, max_value=500),
+                    min_size=1, max_size=150))
+    @settings(max_examples=50)
+    def test_capacity_respected_every_cycle(self, units, earliest):
+        pool = UnitPool("P", units)
+        starts = [pool.issue(e) for e in earliest]
+        per_cycle = Counter(starts)
+        assert max(per_cycle.values()) <= units
+
+    @given(st.integers(min_value=1, max_value=4),
+           st.lists(st.integers(min_value=0, max_value=500),
+                    min_size=1, max_size=100))
+    @settings(max_examples=50)
+    def test_start_never_before_ready(self, units, earliest):
+        pool = UnitPool("P", units)
+        for e in earliest:
+            assert pool.issue(e) >= e
+
+
+class TestLMQProperties:
+    @given(st.integers(min_value=1, max_value=8),
+           st.lists(st.tuples(st.integers(min_value=0, max_value=300),
+                              st.integers(min_value=1, max_value=200)),
+                    min_size=1, max_size=60))
+    @settings(max_examples=50)
+    def test_concurrent_misses_bounded(self, entries, misses):
+        q = LoadMissQueue(entries)
+        intervals = []
+        for want, dur in misses:
+            start = q.acquire(want, 0, duration=dur)
+            assert start >= want
+            q.fill(start + dur)
+            intervals.append((start, start + dur))
+        for t in range(0, 600, 7):
+            overlap = sum(1 for s, e in intervals if s <= t < e)
+            assert overlap <= entries
+
+
+class TestDRAMProperties:
+    @given(st.integers(min_value=5, max_value=100),
+           st.lists(st.integers(min_value=0, max_value=2000),
+                    min_size=1, max_size=60))
+    @settings(max_examples=50)
+    def test_transfers_spaced_by_gap(self, gap, wants):
+        dram = DRAM(MemoryConfig(dram_latency=100, dram_bus_gap=gap))
+        starts = []
+        for want in wants:
+            done = dram.access(want, 0)
+            starts.append(done - 100)
+        starts.sort()
+        for a, b in zip(starts, starts[1:]):
+            assert b - a >= gap
+
+
+class TestBHTProperties:
+    @given(st.lists(st.booleans(), min_size=1, max_size=300))
+    @settings(max_examples=50)
+    def test_counter_stays_in_range(self, outcomes):
+        bht = BimodalBHT(BranchConfig(bht_entries=16))
+        for taken in outcomes:
+            bht.predict_and_update(3, taken, 0)
+        assert 0 <= bht._table[3] <= 3
+
+    @given(st.lists(st.booleans(), min_size=8, max_size=300))
+    @settings(max_examples=50)
+    def test_constant_stream_eventually_predicted(self, prefix):
+        bht = BimodalBHT(BranchConfig(bht_entries=16))
+        for taken in prefix:
+            bht.predict_and_update(1, taken, 0)
+        for _ in range(2):
+            bht.update(1, True)
+        assert bht.predict(1)
+
+
+class TestTraceProperties:
+    @given(st.integers(min_value=0, max_value=8),
+           st.integers(min_value=0, max_value=8))
+    def test_concat_and_multiply_lengths(self, n, times):
+        t = Trace("t", [fx(1)] * n)
+        assert len(t * times) == n * times
+        assert len(t + t) == 2 * n

@@ -1,0 +1,116 @@
+"""Core-level tests of the special priority modes and ST semantics."""
+
+import pytest
+
+from repro.core import SMTCore
+from repro.fame import FameRunner
+from repro.isa import FixedTraceSource, Trace, fx
+
+
+def src(name="w", n=32):
+    return FixedTraceSource(Trace(name, [fx(2 + i % 4) for i in range(n)]))
+
+
+class TestSingleThreadModes:
+    def test_priority_seven_equals_missing_sibling(self, config):
+        """Priority 7 (hypervisor ST mode) must perform exactly like
+        running with an empty second context."""
+        a = SMTCore(config)
+        a.load([src("a")], priorities=(4, 0))
+        a.step(5000)
+        b = SMTCore(config)
+        b.load([src("a"), src("b")], priorities=(7, 4))
+        b.step(5000)
+        assert b.thread(0).retired == a.thread(0).retired
+        assert b.thread(1).retired == 0
+
+    def test_priority_zero_symmetrical(self, config):
+        core = SMTCore(config)
+        core.load([src("a"), src("b")], priorities=(0, 4))
+        core.step(5000)
+        assert core.thread(0).retired == 0
+        assert core.thread(1).retired > 0
+
+    def test_both_off_makes_no_progress(self, config):
+        core = SMTCore(config)
+        core.load([src("a"), src("b")], priorities=(0, 0))
+        core.step(5000)
+        assert core.thread(0).retired == 0
+        assert core.thread(1).retired == 0
+
+
+class TestLowPowerModes:
+    def test_1_1_rate_limit(self, config):
+        core = SMTCore(config)
+        core.load([src("a"), src("b")], priorities=(1, 1))
+        core.step(6400)
+        total = core.thread(0).retired + core.thread(1).retired
+        budget = 6400 // config.low_power_decode_interval
+        assert 0 < total <= budget + 2
+
+    def test_1_1_single_instruction_groups(self, config):
+        core = SMTCore(config)
+        core.load([src("a"), src("b")], priorities=(1, 1))
+        core.step(6400)
+        th = core.thread(0)
+        assert th.groups_dispatched > 0
+        assert th.decoded == th.groups_dispatched  # width 1
+
+    def test_lone_thread_at_priority_one_is_slow(self, config):
+        fast = SMTCore(config)
+        fast.load([src("a")], priorities=(4, 0))
+        fast.step(6400)
+        slow = SMTCore(config)
+        slow.load([src("a")], priorities=(1, 0))
+        slow.step(6400)
+        assert slow.thread(0).retired < fast.thread(0).retired / 10
+
+    def test_paper_special_case_quote(self, config):
+        """Section 3.2: '(1,1) ... the processor runs in low-power
+        mode, decoding only one instruction every 32 cycles' -- not
+        the R=2 alternation the formula alone would give."""
+        normal = SMTCore(config)
+        normal.load([src("a"), src("b")], priorities=(2, 2))
+        normal.step(3200)
+        low = SMTCore(config)
+        low.load([src("a"), src("b")], priorities=(1, 1))
+        low.step(3200)
+        normal_total = normal.thread(0).retired + normal.thread(1).retired
+        low_total = low.thread(0).retired + low.thread(1).retired
+        assert low_total < normal_total / 20
+
+
+class TestFameAcrossModes:
+    def test_fame_in_low_power_mode(self, config, bench):
+        runner = FameRunner(config, min_repetitions=2,
+                            max_cycles=3_000_000)
+        fame = runner.run_pair(bench("cpu_int"),
+                               bench("cpu_int", base_address=1 << 27),
+                               priorities=(1, 1))
+        assert fame.thread(0).ipc < 0.05
+
+    def test_equal_nonfour_priorities_match_baseline(self, config,
+                                                     bench):
+        """Any equal pair in 2..6 alternates slots identically."""
+        runner = FameRunner(config, min_repetitions=3)
+        ipc = {}
+        for prios in ((2, 2), (4, 4), (6, 6)):
+            fame = runner.run_pair(
+                bench("cpu_int"),
+                bench("cpu_int", base_address=1 << 27),
+                priorities=prios)
+            ipc[prios] = fame.thread(0).ipc
+        assert ipc[(2, 2)] == pytest.approx(ipc[(4, 4)], rel=0.02)
+        assert ipc[(6, 6)] == pytest.approx(ipc[(4, 4)], rel=0.02)
+
+    def test_difference_not_absolute_level_matters(self, config, bench):
+        """Eq. (1) depends only on the difference: (6,4) == (4,2)."""
+        runner = FameRunner(config, min_repetitions=3)
+        a = runner.run_pair(bench("cpu_int"),
+                            bench("cpu_fp", base_address=1 << 27),
+                            priorities=(6, 4))
+        b = runner.run_pair(bench("cpu_int"),
+                            bench("cpu_fp", base_address=1 << 27),
+                            priorities=(4, 2))
+        assert a.thread(0).ipc == pytest.approx(b.thread(0).ipc,
+                                                rel=0.02)
