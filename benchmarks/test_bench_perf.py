@@ -1,0 +1,120 @@
+"""Bench: simulation-engine throughput and suite wall-clock.
+
+Measures simulated cycles per wall-clock second for representative
+scenarios -- single-thread, SMT at (4,4) and (6,1), and the
+memory-bound ``ldint_mem`` pair -- under both engines (per-cycle
+reference vs event-driven fast-forward), then times the full
+experiment suite serially and with worker processes.
+
+Everything is written to ``BENCH_simcore.json`` at the repository root
+so speedups across commits and machines are comparable.  Set
+``BENCH_JOBS`` to pin the worker count (default: all cores).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pathlib
+import platform
+import time
+
+from repro.config import POWER5
+from repro.experiments import EXPERIMENTS, ExperimentContext, run_experiment
+from repro.fame import FameRunner
+from repro.microbench import make_microbenchmark
+from repro.workloads.tracecache import clear_cache
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+SECONDARY_BASE = (1 << 27) + 8192
+
+#: (label, (primary, secondary-or-None), priorities)
+SCENARIOS = (
+    ("st_cpu_int", ("cpu_int", None), (4, 4)),
+    ("smt_4_4_cpu_int_ldint_l2", ("cpu_int", "ldint_l2"), (4, 4)),
+    ("smt_6_1_cpu_int_ldint_l2", ("cpu_int", "ldint_l2"), (6, 1)),
+    ("pair_ldint_mem", ("ldint_mem", "ldint_mem"), (4, 4)),
+)
+
+
+def _measure_scenario(config, names, priorities):
+    runner = FameRunner(config, min_repetitions=3, max_cycles=1_500_000)
+    primary = make_microbenchmark(names[0], config)
+    if names[1] is None:
+        start = time.perf_counter()
+        fame = runner.run_single(primary)
+    else:
+        secondary = make_microbenchmark(names[1], config,
+                                        base_address=SECONDARY_BASE)
+        start = time.perf_counter()
+        fame = runner.run_pair(primary, secondary, priorities=priorities)
+    wall = time.perf_counter() - start
+    cycles = fame.result.cycles
+    return {
+        "simulated_cycles": cycles,
+        "wall_s": round(wall, 4),
+        "cycles_per_sec": round(cycles / wall) if wall else None,
+    }
+
+
+def _measure_suite(config, jobs):
+    clear_cache()
+    ctx = ExperimentContext(config=config, min_repetitions=3,
+                            max_cycles=2_500_000, jobs=jobs)
+    start = time.perf_counter()
+    for exp_id in EXPERIMENTS:
+        run_experiment(exp_id, ctx)
+    wall = time.perf_counter() - start
+    return {"wall_s": round(wall, 2), "jobs": jobs,
+            "cells": ctx.cached_runs()}
+
+
+def test_bench_perf_writes_simcore_json():
+    fast_cfg = POWER5.small()
+    ref_cfg = dataclasses.replace(fast_cfg, fast_forward=False)
+    jobs = int(os.environ.get("BENCH_JOBS", "0")) or (os.cpu_count() or 1)
+
+    scenarios = {}
+    for label, names, priorities in SCENARIOS:
+        fast = _measure_scenario(fast_cfg, names, priorities)
+        ref = _measure_scenario(ref_cfg, names, priorities)
+        # Both engines must simulate the exact same number of cycles --
+        # anything else means the fast path changed behaviour.
+        assert fast["simulated_cycles"] == ref["simulated_cycles"], label
+        scenarios[label] = {
+            "fast_forward": fast,
+            "reference": ref,
+            "speedup": round(ref["wall_s"] / fast["wall_s"], 3)
+            if fast["wall_s"] else None,
+        }
+
+    suite_ref = _measure_suite(ref_cfg, jobs=1)
+    suite_fast_serial = _measure_suite(fast_cfg, jobs=1)
+    suite_fast_jobs = _measure_suite(fast_cfg, jobs=jobs)
+    suite = {
+        "reference_serial": suite_ref,
+        "fast_forward_serial": suite_fast_serial,
+        "fast_forward_jobs": suite_fast_jobs,
+        "speedup_engine": round(
+            suite_ref["wall_s"] / suite_fast_serial["wall_s"], 3),
+        "speedup_total": round(
+            suite_ref["wall_s"] / suite_fast_jobs["wall_s"], 3),
+    }
+
+    payload = {
+        "config_fingerprint": fast_cfg.fingerprint(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "bench_jobs": jobs,
+        "scenarios": scenarios,
+        "suite": suite,
+    }
+    out = ROOT / "BENCH_simcore.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    # Sanity floor, deliberately loose: on a single, possibly noisy
+    # core the parallel run may not win, but the suite must complete
+    # under both engines and the engines must agree cycle-for-cycle.
+    assert suite["speedup_engine"] > 0.5
+    assert all(s["speedup"] is not None for s in scenarios.values())

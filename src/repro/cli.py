@@ -5,12 +5,14 @@ Usage::
     power5-repro list
     power5-repro table3
     power5-repro all --preset default --min-reps 10
+    power5-repro all --jobs 4
     python -m repro figure5 --json results.json
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 import time
@@ -40,6 +42,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-cycles", type=int, default=2_500_000, metavar="N",
         help="per-measurement simulated-cycle budget")
     parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for sweep cells: 1 = serial (default), "
+             "0 = all cores; results are identical regardless")
+    parser.add_argument(
+        "--reference", action="store_true",
+        help="disable event-driven fast-forwarding (slower, "
+             "bit-identical results; for validation)")
+    parser.add_argument(
         "--json", metavar="PATH",
         help="also dump experiment data as JSON to PATH")
     return parser
@@ -53,9 +63,12 @@ def main(argv: list[str] | None = None) -> int:
             print(exp_id)
         return 0
     config = POWER5.small() if args.preset == "small" else POWER5.default()
+    if args.reference:
+        config = dataclasses.replace(config, fast_forward=False)
     ctx = ExperimentContext(config=config,
                             min_repetitions=args.min_reps,
-                            max_cycles=args.max_cycles)
+                            max_cycles=args.max_cycles,
+                            jobs=args.jobs)
     if args.experiment == "all":
         ids = list(EXPERIMENTS)
     elif args.experiment in EXPERIMENTS:

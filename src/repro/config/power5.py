@@ -18,6 +18,7 @@ Two presets are provided:
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 from dataclasses import dataclass, field
 
 
@@ -127,6 +128,14 @@ class CoreConfig:
     branch_ends_group: bool = True
     low_power_decode_interval: int = 32  # (1,1) mode: 1 decode / N cycles
 
+    # Simulation engine.  With ``fast_forward`` the step loop jumps
+    # over provably-uneventful cycle spans (all threads blocked on
+    # memory, low-power slot gaps, starvation waits) instead of
+    # iterating them one by one; results are bit-identical to the
+    # per-cycle reference loop (``fast_forward=False``), which remains
+    # available for differential validation.
+    fast_forward: bool = True
+
     # Execution resources (units are fully pipelined, 1 op/cycle each)
     num_fxu: int = 2
     num_lsu: int = 2
@@ -164,6 +173,19 @@ class CoreConfig:
     def seconds(self, cycles: float) -> float:
         """Convert a cycle count to nominal wall-clock seconds."""
         return cycles / self.clock_hz
+
+    def fingerprint(self) -> str:
+        """Stable short hash over every configuration field.
+
+        Used as a cache key for memoised trace construction and to tag
+        benchmark records: two configurations with equal fields always
+        share a fingerprint, and any field change produces a new one.
+        The simulation-engine switch (``fast_forward``) is excluded --
+        it never changes simulated behaviour, only how the step loop
+        advances time.
+        """
+        canonical = repr(dataclasses.replace(self, fast_forward=True))
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
 
 
 class POWER5:

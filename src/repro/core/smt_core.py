@@ -21,6 +21,23 @@ the behaviour that makes extreme negative priorities catastrophic.
 The step loop is written for speed (flat locals, integer op codes,
 minimal allocation): full experiment sweeps simulate hundreds of
 millions of cycles.
+
+Two execution strategies share one per-cycle body:
+
+- the **reference loop** (``CoreConfig.fast_forward=False``) advances
+  ``now`` one cycle at a time, always;
+- the **fast-forward loop** (the default) detects cycles in which no
+  group was dispatched and asks :meth:`_skip_target` for the next
+  *interesting* cycle -- the earliest of any thread's ``stall_until``,
+  the oldest in-flight group completion, a ready thread's next owned
+  decode slot (closed-form arbiter arithmetic, including low-power
+  slot gaps and starvation waits), the next balancer monitoring
+  window, a possible balancer flush, and the next periodic hook.  The
+  skipped span is provably uneventful, so its only effects are slot
+  and stall counters, which :meth:`_account_skip` applies in closed
+  form.  Results are bit-identical to the reference loop; the
+  differential test suite asserts this across the full workload x
+  priority matrix.
 """
 
 from __future__ import annotations
@@ -73,9 +90,29 @@ class SMTCore:
         self._rep_gate: RepGate | None = None
         # Periodic hooks: list of [period, next_fire, callable(core, now)].
         self._hooks: list[list] = []
+        # Earliest pending hook fire time (-1: no hooks).  Maintained
+        # on registration and after every firing so hooks registered
+        # mid-step (e.g. from another hook) are never silently skipped.
+        self._next_hook = -1
         # Optional pipeline tracer (see repro.core.tracing); None costs
         # one comparison per decoded group.
         self._tracer = None
+        # Hot-loop constants and bound callables.  The config is frozen
+        # and every component resets in place (object identity is
+        # stable), so these can be hoisted once per core.
+        cfg = self.config
+        self._dec_consts = (
+            cfg.break_group_on_long_dep,
+            cfg.branch_ends_group, cfg.decode_to_issue, cfg.fx_latency,
+            cfg.fx_mul_latency, cfg.fp_latency, cfg.branch_latency,
+            cfg.branch.mispredict_penalty, cfg.gct_groups,
+            cfg.balancer.throttle_interval)
+        self._fxu_pool = self.fus.fxu
+        self._lsu_pool = self.fus.lsu
+        self._fpu_pool = self.fus.fpu
+        self._bxu_issue = self.fus.bxu.issue
+        self._hier_load = self.hierarchy.load_complete
+        self._hier_store = self.hierarchy.store
 
     # ------------------------------------------------------------------
     # Setup
@@ -116,6 +153,7 @@ class SMTCore:
                 if th is not None:
                     th.gated = True
         self._hooks = []
+        self._next_hook = -1
         self._rebuild_arbiter()
 
     def attach_tracer(self, tracer) -> None:
@@ -135,7 +173,10 @@ class SMTCore:
         """
         if period < 1:
             raise ValueError("hook period must be >= 1")
-        self._hooks.append([period, self._cycle + period, hook])
+        fire = self._cycle + period
+        self._hooks.append([period, fire, hook])
+        if self._next_hook < 0 or fire < self._next_hook:
+            self._next_hook = fire
 
     def set_priorities(self, prio_p: int, prio_s: int) -> None:
         """Set both thread priorities with hypervisor authority."""
@@ -194,9 +235,23 @@ class SMTCore:
         stall_thr = bal_cfg.gct_stall_threshold
         resume_thr = bal.resume_threshold
         window = bal_cfg.window_cycles
+        stall_events = bal.stats.stall_events
+        stall_cycles = bal.stats.stall_cycles
+        gct_floor = cfg.gct_groups - 2
 
-        hooks = self._hooks
-        next_hook = min((h[1] for h in hooks), default=-1)
+        prio_p, prio_s = self.priorities
+        # Fast-forward needs every in-loop callback site to be
+        # predictable; a repetition gate is an arbitrary callable
+        # evaluated per cycle, so gated runs use the reference loop.
+        fast = cfg.fast_forward and self._rep_gate is None
+        decode_slot = self._decode_slot
+        gct_groups = cfg.gct_groups
+        bal_on = bal_enabled and t0 is not None and t1 is not None
+
+        # NORMAL-mode slot ownership is a modulo test; inline it and
+        # refresh the locals whenever the arbiter is rebuilt.
+        (arb_norm, arb_ratio, arb_high, arb_low,
+         dense_a, dense_b, dec_width) = self._arb_locals()
 
         now = self._cycle
         end = now + cycles
@@ -212,7 +267,11 @@ class SMTCore:
             # empty instruction buffer.  A slot whose owner is merely
             # blocked (GCT full, balancer, redirect) is wasted -- that
             # strictness is what starves low-priority threads.
-            owner = owner_of(now)
+            dispatched = False
+            if arb_norm:
+                owner = arb_high if now % arb_ratio else arb_low
+            else:
+                owner = owner_of(now)
             if owner is not None:
                 th = threads[owner]
                 if th is None or th.finished or (
@@ -225,80 +284,325 @@ class SMTCore:
                         th = None
                 if th is not None:
                     th.owned_slots += 1
-                    self._decode_slot(th, owner, now)
-                    if arbiter is not self._arbiter:
-                        # A priority nop changed the allocation.
-                        arbiter = self._arbiter
-                        owner_of = arbiter.owner
+                    dispatched = decode_slot(th, owner, now, dec_width)
+            if arbiter is not self._arbiter:
+                # A priority nop (or an in-loop callback) changed the
+                # slot allocation.
+                arbiter = self._arbiter
+                owner_of = arbiter.owner
+                prio_p, prio_s = self.priorities
+                (arb_norm, arb_ratio, arb_high, arb_low,
+                 dense_a, dense_b, dec_width) = self._arb_locals()
 
             # -- retire (in order, one group per thread per cycle) -----
-            for th in (t0, t1):
-                if th is None or not th.inflight:
-                    continue
+            # Unrolled over the two threads: this runs every cycle and
+            # the loop form costs a tuple + iterator allocation.
+            if t0 is not None and t0.inflight:
                 budget = retire_budget
-                q = th.inflight
+                q = t0.inflight
                 while budget and q and q[0].completion <= now:
                     g = q.popleft()
-                    th.retired += g.count
-                    th.gct_held -= 1
+                    t0.retired += g.count
+                    t0.gct_held -= 1
                     self._gct_used -= 1
                     budget -= 1
                     if g.rep_done:
-                        th.rep_end_times.append(now)
-                        th.rep_end_retired.append(th.retired)
+                        t0.rep_end_times.append(now)
+                        t0.rep_end_retired.append(t0.retired)
+            if t1 is not None and t1.inflight:
+                budget = retire_budget
+                q = t1.inflight
+                while budget and q and q[0].completion <= now:
+                    g = q.popleft()
+                    t1.retired += g.count
+                    t1.gct_held -= 1
+                    self._gct_used -= 1
+                    budget -= 1
+                    if g.rep_done:
+                        t1.rep_end_times.append(now)
+                        t1.rep_end_retired.append(t1.retired)
 
             # -- dynamic resource balancing -----------------------------
-            if bal_enabled and t0 is not None and t1 is not None:
-                prio_p, prio_s = self.priorities
-                for th, other, mine, theirs in ((t0, t1, prio_p, prio_s),
-                                                (t1, t0, prio_s, prio_p)):
-                    if other.finished:
-                        if th.balancer_stalled:
-                            th.balancer_stalled = False
-                        continue
+            # Also unrolled (thread 0 then thread 1, same order as the
+            # reference loop so flush-induced GCT changes are seen by
+            # the second thread's checks).
+            if bal_on:
+                if t1.finished:
+                    if t0.balancer_stalled:
+                        t0.balancer_stalled = False
+                else:
                     # The GCT-occupancy stall is priority-independent:
                     # it is a structural fairness floor that keeps one
                     # thread from owning the entire completion table.
                     if stall_en:
-                        if th.balancer_stalled:
-                            if th.gct_held <= resume_thr:
-                                th.balancer_stalled = False
-                        elif th.gct_held > stall_thr:
-                            th.balancer_stalled = True
-                            bal.stats.stall_events[th.thread_id] += 1
-                        if th.balancer_stalled:
-                            bal.stats.stall_cycles[th.thread_id] += 1
+                        if t0.balancer_stalled:
+                            if t0.gct_held <= resume_thr:
+                                t0.balancer_stalled = False
+                        elif t0.gct_held > stall_thr:
+                            t0.balancer_stalled = True
+                            stall_events[0] += 1
+                        if t0.balancer_stalled:
+                            stall_cycles[0] += 1
                     # Flush defers to software priority: hardware does
                     # not squash a thread that software explicitly
                     # favoured (see ResourceBalancer docs).
-                    if (flush_en and bal.is_offender(mine, theirs)
-                            and th.inflight
-                            and th.stall_until <= now
-                            and self._gct_used >= cfg.gct_groups - 2
-                            and bal.should_flush(th.gct_held,
-                                                 th.inflight[0].completion,
+                    if (flush_en and prio_p <= prio_s
+                            and t0.inflight
+                            and t0.stall_until <= now
+                            and self._gct_used >= gct_floor
+                            and bal.should_flush(t0.gct_held,
+                                                 t0.inflight[0].completion,
                                                  now)):
-                        self._flush(th, now)
+                        self._flush(t0, now)
+                if t0.finished:
+                    if t1.balancer_stalled:
+                        t1.balancer_stalled = False
+                else:
+                    if stall_en:
+                        if t1.balancer_stalled:
+                            if t1.gct_held <= resume_thr:
+                                t1.balancer_stalled = False
+                        elif t1.gct_held > stall_thr:
+                            t1.balancer_stalled = True
+                            stall_events[1] += 1
+                        if t1.balancer_stalled:
+                            stall_cycles[1] += 1
+                    if (flush_en and prio_s <= prio_p
+                            and t1.inflight
+                            and t1.stall_until <= now
+                            and self._gct_used >= gct_floor
+                            and bal.should_flush(t1.gct_held,
+                                                 t1.inflight[0].completion,
+                                                 now)):
+                        self._flush(t1, now)
 
                 if now >= bal.next_window:
                     bal.next_window = now + window
                     self._window_update(t0, t1, prio_p, prio_s)
 
             # -- periodic hooks -----------------------------------------
-            if next_hook >= 0 and now >= next_hook:
-                for h in hooks:
+            next_hook = self._next_hook
+            if 0 <= next_hook <= now:
+                for h in self._hooks:
                     if now >= h[1]:
                         h[1] += h[0]
                         h[2](self, now)
-                next_hook = min(h[1] for h in hooks)
+                self._next_hook = min(h[1] for h in self._hooks)
                 if arbiter is not self._arbiter:
                     arbiter = self._arbiter
                     owner_of = arbiter.owner
+                    prio_p, prio_s = self.priorities
+                    (arb_norm, arb_ratio, arb_high, arb_low,
+                     dense_a, dense_b, dec_width) = self._arb_locals()
 
             now += 1
 
+            # -- fast-forward over provably-uneventful cycles ----------
+            if fast and not dispatched and now < end:
+                # Cheap gate before the exact planner: when a thread
+                # whose slots are *dense* (next owned slot at most a
+                # few cycles away) is ready to decode, any skip would
+                # be shorter than the planning cost.  Suppressing the
+                # planner is always safe -- the per-cycle body is the
+                # reference behaviour.
+                if not (self._gct_used < gct_groups
+                        and ((dense_a is not None and not dense_a.finished
+                              and dense_a.stall_until <= now
+                              and not dense_a.balancer_stalled
+                              and not dense_a.throttled)
+                             or (dense_b is not None
+                                 and not dense_b.finished
+                                 and dense_b.stall_until <= now
+                                 and not dense_b.balancer_stalled
+                                 and not dense_b.throttled))):
+                    target = self._skip_target(now, end, prio_p, prio_s)
+                    if target > now:
+                        self._account_skip(now, target)
+                        now = target
+
         self._cycle = now
         return cycles
+
+    def _arb_locals(self):
+        """Arbiter-derived locals for :meth:`step`'s hot loop.
+
+        Recomputed only when the arbiter object changes (priority nop,
+        hook, or in-loop callback), never per cycle.
+        """
+        arb = self._arbiter
+        mode = arb.mode
+        high = arb._high
+        dense_a, dense_b = self._dense_threads()
+        if mode is ArbiterMode.LOW_POWER or mode is ArbiterMode.LOW_POWER_ST:
+            width = 1
+        else:
+            width = self.config.decode_width
+        return (mode is ArbiterMode.NORMAL, arb._ratio, high, 1 - high,
+                dense_a, dense_b, width)
+
+    def _dense_threads(self):
+        """Threads whose effective slot pattern has only tiny gaps.
+
+        Used by the fast-forward gate in :meth:`step`: when such a
+        thread is ready to decode, the next eventful cycle is at most a
+        couple of cycles away and planning a skip cannot pay for
+        itself.  Conservative by construction -- omitting a thread only
+        costs planner invocations, never correctness.
+        """
+        arb = self._arbiter
+        threads = self._threads
+        mode = arb.mode
+        if mode is ArbiterMode.NORMAL:
+            hi = threads[arb._high]
+            if arb._ratio <= 4:
+                return hi, threads[1 - arb._high]
+            return hi, None
+        if mode is ArbiterMode.SINGLE_THREAD:
+            return threads[arb._st_owner], None
+        return None, None
+
+    def _skip_target(self, a: int, end: int,
+                     prio_p: int, prio_s: int) -> int:
+        """End of the uneventful span starting at cycle ``a``.
+
+        Returns the earliest cycle in ``[a, end]`` at which anything
+        observable might happen -- a decode by a ready thread, a group
+        retirement, a stall expiry, a balancer flush or monitoring
+        window, or a periodic hook.  Returning ``a`` means the span is
+        empty and the per-cycle loop must run.  Every cycle strictly
+        before the returned target provably only increments slot and
+        stall counters (applied by :meth:`_account_skip`).
+        """
+        b = end
+        nh = self._next_hook
+        if nh >= 0:
+            if nh <= a:
+                return a
+            if nh < b:
+                b = nh
+        threads = self._threads
+        t0, t1 = threads[0], threads[1]
+        bal = self.balancer
+        bal_cfg = bal.config
+        bal_active = (bal_cfg.enabled
+                      and t0 is not None and t1 is not None)
+        if bal_active:
+            nw = bal.next_window
+            if nw <= a:
+                return a
+            if nw < b:
+                b = nw
+        cfg = self.config
+        gct_full = self._gct_used >= cfg.gct_groups
+        flush_en = bal_active and bal_cfg.flush_enabled
+        alive = (t0 is not None and not t0.finished,
+                 t1 is not None and not t1.finished)
+        arb = self._arbiter
+        for tid, th in ((0, t0), (1, t1)):
+            if th is None:
+                continue
+            inflight = th.inflight
+            if inflight:
+                head = inflight[0].completion
+                if head <= a:
+                    return a
+                if head < b:
+                    b = head
+            su = th.stall_until
+            if su > a:
+                # The stall expiry re-enables decode and arms the
+                # balancer flush condition; end the span there.
+                if su < b:
+                    b = su
+            elif flush_en and inflight:
+                # stall_until has passed: a balancer flush could fire
+                # at ``a`` itself (its horizon term only weakens as
+                # time advances, so checking ``a`` covers the span).
+                mine = prio_p if tid == 0 else prio_s
+                theirs = prio_s if tid == 0 else prio_p
+                other = threads[1 - tid]
+                if (mine <= theirs and not other.finished
+                        and self._gct_used >= cfg.gct_groups - 2
+                        and bal.should_flush(th.gct_held,
+                                             inflight[0].completion, a)):
+                    return a
+            if not alive[tid]:
+                continue
+            if th.pos >= len(th.trace):
+                return a  # defensive path of _decode_slot; never skip
+            if su > a or th.balancer_stalled:
+                continue  # cannot decode anywhere in the span
+            if th.throttled:
+                if gct_full:
+                    continue  # throttle-eligible slots lose to the GCT
+                interval = bal_cfg.throttle_interval
+                need = -th.owned_slots % interval
+                c = arb.nth_owned(tid, a, need if need else interval,
+                                  alive)
+            elif gct_full:
+                continue  # every owned slot is lost to the full GCT
+            else:
+                c = arb.nth_owned(tid, a, 1, alive)
+            if c is not None:
+                if c <= a:
+                    return a
+                if c < b:
+                    b = c
+        return b
+
+    def _account_skip(self, a: int, b: int) -> None:
+        """Apply the per-cycle counter effects of skipping ``[a, b)``.
+
+        The planner guarantees no decode, retirement, flush, window
+        update or hook fires in the span, so the only observable
+        effects are the slot-ownership counters (owned / wasted /
+        lost-to-GCT, in the same precedence as ``_decode_slot``) and
+        the balancer's stalled-cycle statistics.
+        """
+        threads = self._threads
+        t0, t1 = threads[0], threads[1]
+        alive = (t0 is not None and not t0.finished,
+                 t1 is not None and not t1.finished)
+        arb = self._arbiter
+        cfg = self.config
+        gct_full = self._gct_used >= cfg.gct_groups
+        interval = cfg.balancer.throttle_interval
+        for tid, th in ((0, t0), (1, t1)):
+            if not alive[tid]:
+                continue
+            owned = arb.owned_in(tid, a, b, alive)
+            if not owned:
+                continue
+            th.owned_slots += owned
+            if th.stall_until > a or th.balancer_stalled:
+                th.wasted_slots += owned
+            elif th.throttled:
+                if gct_full:
+                    # Non-eligible slots waste on the throttle;
+                    # throttle-eligible ones fall through to the GCT
+                    # check and are lost there instead.
+                    before = th.owned_slots - owned
+                    eligible = ((before + owned) // interval
+                                - before // interval)
+                    th.slots_lost_gct += eligible
+                    th.wasted_slots += owned - eligible
+                else:
+                    # The planner capped the span before the first
+                    # throttle-eligible slot.
+                    th.wasted_slots += owned
+            else:
+                # A ready thread owns no slots in the span (the
+                # planner capped it), so only the GCT case remains.
+                th.slots_lost_gct += owned
+        bal = self.balancer
+        bal_cfg = bal.config
+        if (bal_cfg.enabled and bal_cfg.stall_enabled
+                and t0 is not None and t1 is not None):
+            span = b - a
+            if t0.balancer_stalled and not t1.finished:
+                bal.stats.stall_cycles[0] += span
+            if t1.balancer_stalled and not t0.finished:
+                bal.stats.stall_cycles[1] += span
 
     def _gate_open(self, th: HardwareThread, tid: int, now: int) -> bool:
         """Re-evaluate a gated thread's repetition gate."""
@@ -308,42 +612,52 @@ class SMTCore:
             return True
         return False
 
-    def _decode_slot(self, th: HardwareThread, tid: int, now: int) -> None:
-        """Attempt to decode one group for the slot owner ``th``."""
+    def _decode_slot(self, th: HardwareThread, tid: int, now: int,
+                     width: int = 0) -> bool:
+        """Attempt to decode one group for the slot owner ``th``.
+
+        ``width`` is the group width under the current arbiter mode
+        (precomputed by the caller; 0 means derive it here).  Returns
+        True when a group was dispatched (the cycle was *eventful*);
+        False when the slot was wasted or lost.
+        """
         if th.stall_until > now or th.balancer_stalled:
             th.wasted_slots += 1
-            return
-        cfg = self.config
-        if th.throttled and th.owned_slots % cfg.balancer.throttle_interval:
+            return False
+        (break_long, branch_ends, d2i, fx_lat, mul_lat, fp_lat,
+         br_lat, misp_pen, gct_groups, thr_interval) = self._dec_consts
+        if th.throttled and th.owned_slots % thr_interval:
             th.wasted_slots += 1
-            return
-        if self._gct_used >= cfg.gct_groups:
+            return False
+        if self._gct_used >= gct_groups:
             th.slots_lost_gct += 1
-            return
+            return False
 
         trace = th.trace
         pos = th.pos
         n = len(trace)
         if pos >= n:  # defensive: advance_repetition keeps pos < n
             th.wasted_slots += 1
-            return
+            return False
 
-        mode = self._arbiter.mode
-        if mode is ArbiterMode.LOW_POWER or mode is ArbiterMode.LOW_POWER_ST:
-            width = 1
-        else:
-            width = cfg.decode_width
-        break_long = cfg.break_group_on_long_dep
-        branch_ends = cfg.branch_ends_group
+        if not width:
+            width = self._arb_locals()[6]
 
         reg_ready = th.reg_ready
-        fus = self.fus
-        hier = self.hierarchy
-        base = now + cfg.decode_to_issue
-        fx_lat = cfg.fx_latency
-        mul_lat = cfg.fx_mul_latency
-        fp_lat = cfg.fp_latency
-        br_lat = cfg.branch_latency
+        # Functional-unit issue is inlined below (UnitPool.issue with
+        # the call overhead stripped); these locals mirror its state.
+        fxu = self._fxu_pool
+        fxu_occ = fxu._occupied
+        fxu_cap = fxu.count
+        fxu_ti = fxu.thread_issues
+        lsu = self._lsu_pool
+        lsu_occ = lsu._occupied
+        lsu_cap = lsu.count
+        lsu_ti = lsu.thread_issues
+        fpu_issue = self._fpu_pool.issue
+        hier_load = self._hier_load
+        hier_store = self._hier_store
+        base = now + d2i
 
         group_comp = 0
         count = 0
@@ -354,9 +668,7 @@ class SMTCore:
 
         while count < width and pos < n:
             ins = trace[pos]
-            op = ins[0]
-            s1 = ins[2]
-            s2 = ins[3]
+            op, dst, s1, s2, addr, aux = ins
             if count and break_long and long_dsts and (
                     s1 in long_dsts or s2 in long_dsts):
                 break
@@ -372,25 +684,49 @@ class SMTCore:
                     earliest = t
 
             if op == _OP_FX:
-                start = fus.fxu.issue(earliest, tid)
+                start = earliest
+                while fxu_occ.get(start, 0) >= fxu_cap:
+                    start += 1
+                fxu_occ[start] = fxu_occ.get(start, 0) + 1
+                fxu.total_wait += start - earliest
+                fxu.issues += 1
+                fxu_ti[tid] += 1
                 comp = start + fx_lat
             elif op == _OP_LOAD:
-                start = fus.lsu.issue(earliest, tid)
-                comp = hier.load(ins[4], start, tid, now).complete
-                long_dsts.append(ins[1])
+                start = earliest
+                while lsu_occ.get(start, 0) >= lsu_cap:
+                    start += 1
+                lsu_occ[start] = lsu_occ.get(start, 0) + 1
+                lsu.total_wait += start - earliest
+                lsu.issues += 1
+                lsu_ti[tid] += 1
+                comp = hier_load(addr, start, tid, now)
+                long_dsts.append(dst)
             elif op == _OP_STORE:
-                start = fus.lsu.issue(earliest, tid)
-                comp = hier.store(ins[4], start, tid)
+                start = earliest
+                while lsu_occ.get(start, 0) >= lsu_cap:
+                    start += 1
+                lsu_occ[start] = lsu_occ.get(start, 0) + 1
+                lsu.total_wait += start - earliest
+                lsu.issues += 1
+                lsu_ti[tid] += 1
+                comp = hier_store(addr, start, tid)
             elif op == _OP_FX_MUL:
-                start = fus.fxu.issue(earliest, tid)
+                start = earliest
+                while fxu_occ.get(start, 0) >= fxu_cap:
+                    start += 1
+                fxu_occ[start] = fxu_occ.get(start, 0) + 1
+                fxu.total_wait += start - earliest
+                fxu.issues += 1
+                fxu_ti[tid] += 1
                 comp = start + mul_lat
-                long_dsts.append(ins[1])
+                long_dsts.append(dst)
             elif op == _OP_FP:
-                start = fus.fpu.issue(earliest, tid)
+                start = fpu_issue(earliest, tid)
                 comp = start + fp_lat
-                long_dsts.append(ins[1])
+                long_dsts.append(dst)
             elif op == _OP_BRANCH:
-                start = fus.bxu.issue(earliest, tid)
+                start = self._bxu_issue(earliest, tid)
                 comp = start + br_lat
                 pos += 1
                 count += 1
@@ -399,10 +735,10 @@ class SMTCore:
                 if tracer is not None:
                     tracer.record(tid, op, now, start, comp)
                 correct = self.bht.predict_and_update(
-                    (pos << 1) | tid, ins[5] == 1, tid)
+                    (pos << 1) | tid, aux == 1, tid)
                 if not correct:
                     th.mispredicts += 1
-                    th.stall_until = comp + cfg.branch.mispredict_penalty
+                    th.stall_until = comp + misp_pen
                     break
                 if branch_ends:
                     break
@@ -417,7 +753,6 @@ class SMTCore:
 
             if tracer is not None:
                 tracer.record(tid, op, now, start, comp)
-            dst = ins[1]
             if dst >= 0:
                 reg_ready[dst] = comp
             if comp > group_comp:
@@ -429,7 +764,7 @@ class SMTCore:
             # First instruction of the group hit a break rule against an
             # empty group -- cannot happen, but never dispatch nothing.
             th.wasted_slots += 1
-            return
+            return False
 
         rep_done = pos >= n
         if start_pos == 0 and len(th.rep_start_times) == start_rep:
@@ -445,6 +780,7 @@ class SMTCore:
             th.advance_repetition()
             if self._rep_gate is not None:
                 th.gated = True
+        return True
 
     def _flush(self, th: HardwareThread, now: int) -> None:
         """Balancer flush: squash the thread's youngest groups.

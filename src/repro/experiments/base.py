@@ -13,8 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.config import POWER5, CoreConfig
 from repro.fame import FameRunner
-from repro.microbench import make_microbenchmark
-from repro.workloads.spec import SPEC_PROFILES, make_spec_workload
+from repro.workloads.tracecache import cached_workload
 
 #: Address offset separating the secondary thread's data from the
 #: primary's (distinct processes on the real machine).
@@ -69,14 +68,34 @@ class PairMetrics:
         return total
 
 
+def single_cell(name: str) -> tuple:
+    """Cache key of a single-thread measurement cell."""
+    return ("single", name)
+
+
+def pair_cell(primary: str, secondary: str,
+              priorities: tuple[int, int]) -> tuple:
+    """Cache key of a co-scheduled measurement cell."""
+    return ("pair", primary, secondary, priorities)
+
+
 @dataclass
 class ExperimentContext:
-    """Configuration + runner + memoised measurements."""
+    """Configuration + runner + memoised measurements.
+
+    ``jobs`` controls how :meth:`prefetch` computes missing cells:
+    1 (the default) runs them serially in-process; N > 1 dispatches
+    them to N worker processes; 0 uses every available core.  Each
+    cell is an independent deterministic simulation, so the results
+    are identical regardless of ``jobs`` (the test-suite asserts
+    byte-identical sweeps).
+    """
 
     config: CoreConfig = field(default_factory=POWER5.small)
     min_repetitions: int = 3
     maiv: float = 0.01
     max_cycles: int = 2_500_000
+    jobs: int = 1
     _cache: dict = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
@@ -85,28 +104,28 @@ class ExperimentContext:
             maiv=self.maiv, max_cycles=self.max_cycles)
 
     def _workload(self, name: str, base_address: int = 0):
-        if name in SPEC_PROFILES:
-            return make_spec_workload(name, self.config, base_address)
-        return make_microbenchmark(name, self.config, base_address)
+        return cached_workload(name, self.config, base_address)
 
-    def single(self, name: str) -> ThreadMetrics:
-        """Single-thread-mode measurement (memoised)."""
-        key = ("single", name)
-        if key not in self._cache:
+    def compute_cell(self, key: tuple):
+        """Simulate one cell (no cache involvement).
+
+        ``key`` is a :func:`single_cell` or :func:`pair_cell` tuple.
+        This is the one entry point through which every measurement is
+        produced -- serially via :meth:`single`/:meth:`pair`, or in a
+        worker process via :mod:`repro.experiments.parallel`.
+        """
+        kind = key[0]
+        if kind == "single":
+            name = key[1]
             fame = self.runner.run_single(self._workload(name))
-            self._cache[key] = _thread_metrics(fame.thread(0), name, 4)
-        return self._cache[key]
-
-    def pair(self, primary: str, secondary: str,
-             priorities: tuple[int, int]) -> PairMetrics:
-        """Co-scheduled measurement at fixed priorities (memoised)."""
-        key = ("pair", primary, secondary, priorities)
-        if key not in self._cache:
+            return _thread_metrics(fame.thread(0), name, 4)
+        if kind == "pair":
+            _, primary, secondary, priorities = key
             fame = self.runner.run_pair(
                 self._workload(primary),
                 self._workload(secondary, SECONDARY_BASE),
                 priorities=priorities)
-            self._cache[key] = PairMetrics(
+            return PairMetrics(
                 priorities=priorities,
                 primary=_thread_metrics(fame.thread(0), primary,
                                         priorities[0]),
@@ -114,6 +133,42 @@ class ExperimentContext:
                                           priorities[1]),
                 cycles=fame.cycles,
                 capped=fame.capped)
+        raise ValueError(f"unknown cell kind in key: {key!r}")
+
+    def prefetch(self, cells) -> int:
+        """Ensure every cell in ``cells`` is measured; returns #computed.
+
+        Uncached cells are simulated -- in parallel worker processes
+        when ``jobs`` allows -- and merged into the cache in input
+        order, so subsequent :meth:`single`/:meth:`pair` calls are
+        cache hits.  Experiments call this with their full cell list
+        up front; with ``jobs=1`` it degrades to the serial behaviour.
+        """
+        todo = [k for k in dict.fromkeys(cells) if k not in self._cache]
+        if not todo:
+            return 0
+        if (self.jobs == 1 or len(todo) == 1):
+            for key in todo:
+                self._cache[key] = self.compute_cell(key)
+        else:
+            from repro.experiments.parallel import compute_cells
+            for key, value in compute_cells(self, todo):
+                self._cache[key] = value
+        return len(todo)
+
+    def single(self, name: str) -> ThreadMetrics:
+        """Single-thread-mode measurement (memoised)."""
+        key = ("single", name)
+        if key not in self._cache:
+            self._cache[key] = self.compute_cell(key)
+        return self._cache[key]
+
+    def pair(self, primary: str, secondary: str,
+             priorities: tuple[int, int]) -> PairMetrics:
+        """Co-scheduled measurement at fixed priorities (memoised)."""
+        key = ("pair", primary, secondary, priorities)
+        if key not in self._cache:
+            self._cache[key] = self.compute_cell(key)
         return self._cache[key]
 
     def pair_at_diff(self, primary: str, secondary: str,

@@ -7,7 +7,11 @@ priority difference grows from +1 to +5.
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentContext
+from repro.experiments.base import (
+    ExperimentContext,
+    pair_cell,
+    priority_pair,
+)
 from repro.experiments.report import ExperimentReport, render_series
 from repro.microbench import EVALUATED_BENCHMARKS
 
@@ -20,6 +24,9 @@ def run_figure2(ctx: ExperimentContext | None = None,
                 ) -> ExperimentReport:
     """Measure the positive-priority speedup curves."""
     ctx = ctx or ExperimentContext()
+    ctx.prefetch(pair_cell(p, s, priority_pair(d))
+                 for p in benchmarks for s in benchmarks
+                 for d in (0,) + tuple(diffs))
     data: dict = {}
     lines = []
     for primary in benchmarks:

@@ -7,7 +7,11 @@ differences +4 .. -4, the paper's throughput trade-off view.
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentContext
+from repro.experiments.base import (
+    ExperimentContext,
+    pair_cell,
+    priority_pair,
+)
 from repro.experiments.report import ExperimentReport, render_series
 from repro.microbench import EVALUATED_BENCHMARKS
 
@@ -20,6 +24,9 @@ def run_figure4(ctx: ExperimentContext | None = None,
                 ) -> ExperimentReport:
     """Measure relative throughput across priority differences."""
     ctx = ctx or ExperimentContext()
+    ctx.prefetch(pair_cell(p, s, priority_pair(d))
+                 for p in benchmarks for s in benchmarks
+                 for d in (0,) + tuple(diffs))
     data: dict = {}
     lines = []
     for primary in benchmarks:

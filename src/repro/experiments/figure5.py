@@ -7,7 +7,11 @@ at +23.7% combined IPC (+7.2% already at +2), applu+equake at +14%.
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentContext
+from repro.experiments.base import (
+    ExperimentContext,
+    pair_cell,
+    priority_pair,
+)
 from repro.experiments.report import ExperimentReport, render_table
 from repro.workloads.spec import CASE_STUDY_PAIRS
 
@@ -20,6 +24,8 @@ def run_figure5(ctx: ExperimentContext | None = None,
                 ) -> ExperimentReport:
     """Sweep the case-study pairs over positive priorities."""
     ctx = ctx or ExperimentContext()
+    ctx.prefetch(pair_cell(p, s, priority_pair(d))
+                 for p, s in pairs for d in diffs)
     data: dict = {}
     sections = []
     for primary, secondary in pairs:

@@ -12,7 +12,11 @@ Four panels:
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentContext
+from repro.experiments.base import (
+    ExperimentContext,
+    pair_cell,
+    single_cell,
+)
 from repro.experiments.report import (
     ExperimentReport,
     render_series,
@@ -34,6 +38,14 @@ def run_figure6(ctx: ExperimentContext | None = None,
                 ) -> ExperimentReport:
     """Measure all four transparent-execution panels."""
     ctx = ctx or ExperimentContext()
+    cells = [single_cell(fg) for fg in benchmarks]
+    cells += [pair_cell(fg, bg, (fg_prio, 1))
+              for fg_prio in FOREGROUND_PRIORITIES
+              for fg in benchmarks for bg in benchmarks]
+    cells += [pair_cell(fg, WORST_BACKGROUND, (fg_prio, 1))
+              for fg in PANEL_C_FOREGROUNDS
+              for fg_prio in PANEL_C_PRIORITIES]
+    ctx.prefetch(cells)
     data: dict = {"ab": {}, "c": {}, "d": {}}
     sections = []
 

@@ -13,7 +13,12 @@ priority mechanism is, to first order, decode-slot apportioning.
 from __future__ import annotations
 
 from repro.analysis.model import ThreadModel, predict_pair_ipc
-from repro.experiments.base import ExperimentContext
+from repro.experiments.base import (
+    ExperimentContext,
+    pair_cell,
+    priority_pair,
+    single_cell,
+)
 from repro.experiments.report import ExperimentReport, render_table
 
 BENCHMARKS = ("cpu_int", "ldint_l1", "cpu_fp", "ldint_mem")
@@ -39,6 +44,10 @@ def run_modelcheck(ctx: ExperimentContext | None = None,
     """Compare model predictions with simulator measurements."""
     ctx = ctx or ExperimentContext()
     partner = "cpu_fp"
+    ctx.prefetch([single_cell(n) for n in benchmarks + (partner,)]
+                 + [pair_cell(partner, partner, priority_pair(-4))]
+                 + [pair_cell(n, partner, priority_pair(d))
+                    for n in benchmarks for d in DIFFS])
     partner_model = fit_thread_model(ctx, partner)
     rows = []
     data = {}

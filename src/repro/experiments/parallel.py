@@ -1,0 +1,72 @@
+"""Parallel execution of independent measurement cells.
+
+Every cell of a priority sweep -- one (workloads, priorities)
+combination driven to FAME convergence -- is an independent,
+deterministic simulation.  That makes the sweep embarrassingly
+parallel: cells are dispatched to a pool of worker processes and the
+results merged back into the :class:`ExperimentContext` cache.
+
+Determinism is preserved end to end:
+
+- each worker simulates a cell exactly as a serial run would (same
+  config, same runner parameters, same workload construction), so a
+  cell's value does not depend on which process computed it;
+- results are merged in submission order (``executor.map`` preserves
+  input order), so the cache fills identically to a serial run.
+
+The equivalence is asserted by the test-suite (parallel sweeps must be
+byte-identical to serial ones).
+
+Workers are forked lazily per :func:`compute_cells` call and torn down
+afterwards; each worker keeps one private :class:`ExperimentContext`,
+so trace construction and warm caches amortise across the cells it
+serves.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterable, Iterator
+from concurrent.futures import ProcessPoolExecutor
+
+#: Cache key of one measurement cell (see ExperimentContext.prefetch):
+#: ("single", name) or ("pair", primary, secondary, (prio_p, prio_s)).
+Cell = tuple
+
+#: The per-process context, created by the pool initializer.
+_WORKER_CTX = None
+
+
+def default_jobs() -> int:
+    """Worker count used for ``jobs=0`` (all available cores)."""
+    return os.cpu_count() or 1
+
+
+def _init_worker(config, min_repetitions: int, maiv: float,
+                 max_cycles: int) -> None:
+    from repro.experiments.base import ExperimentContext
+    global _WORKER_CTX
+    _WORKER_CTX = ExperimentContext(
+        config=config, min_repetitions=min_repetitions, maiv=maiv,
+        max_cycles=max_cycles)
+
+
+def _run_cell(key: Cell):
+    return _WORKER_CTX.compute_cell(key)
+
+
+def compute_cells(ctx, keys: Iterable[Cell]) -> Iterator[tuple[Cell, object]]:
+    """Compute ``keys`` on a worker pool; yield (key, value) in order.
+
+    ``ctx`` supplies the machine configuration and runner parameters;
+    its cache is *not* consulted here (the caller filters cached keys)
+    and not written (the caller owns the merge).
+    """
+    keys = list(keys)
+    jobs = min(ctx.jobs if ctx.jobs > 0 else default_jobs(), len(keys))
+    with ProcessPoolExecutor(
+            max_workers=jobs,
+            initializer=_init_worker,
+            initargs=(ctx.config, ctx.min_repetitions, ctx.maiv,
+                      ctx.max_cycles)) as pool:
+        yield from zip(keys, pool.map(_run_cell, keys))

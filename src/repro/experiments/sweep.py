@@ -20,6 +20,7 @@ from repro.experiments.base import (
     PRIORITY_PAIRS,
     ExperimentContext,
     PairMetrics,
+    pair_cell,
     priority_pair,
 )
 from repro.experiments.report import render_table
@@ -107,11 +108,14 @@ class PrioritySweep:
         The baseline difference 0 is always measured (it anchors the
         relative metrics) even when absent from ``diffs``.
         """
+        all_diffs = sorted(set(diffs) | {0})
+        self.ctx.prefetch(pair_cell(primary, secondary, priority_pair(d))
+                          for d in all_diffs)
         base = self.ctx.pair_at_diff(primary, secondary, 0)
         base_p = base.primary.avg_rep_cycles
         base_s = base.secondary.avg_rep_cycles
         points = []
-        for diff in sorted(set(diffs) | {0}):
+        for diff in all_diffs:
             pm = self.ctx.pair_at_diff(primary, secondary, diff)
             points.append(self._point(diff, pm, base_p, base_s))
         return SweepResult(primary=primary, secondary=secondary,

@@ -7,7 +7,11 @@ combined IPC (``tt``) at the default priorities.
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentContext
+from repro.experiments.base import (
+    ExperimentContext,
+    pair_cell,
+    single_cell,
+)
 from repro.experiments.report import ExperimentReport, render_table
 from repro.microbench import EVALUATED_BENCHMARKS
 
@@ -46,6 +50,9 @@ def run_table3(ctx: ExperimentContext | None = None,
                ) -> ExperimentReport:
     """Measure the full ST + pairwise-(4,4) IPC matrix."""
     ctx = ctx or ExperimentContext()
+    ctx.prefetch([single_cell(p) for p in benchmarks]
+                 + [pair_cell(p, s, (4, 4))
+                    for p in benchmarks for s in benchmarks])
     data: dict = {"st": {}, "pairs": {}}
     rows = []
     for primary in benchmarks:

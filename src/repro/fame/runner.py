@@ -11,6 +11,7 @@ accounting does this natively).
 
 from __future__ import annotations
 
+import gc
 from dataclasses import dataclass
 
 from repro.config import POWER5, CoreConfig
@@ -95,10 +96,19 @@ class FameRunner:
         core.load([primary, secondary], priorities, privileges, rep_gate)
         active = [i for i in (0, 1)
                   if (primary, secondary)[i] is not None]
-        while core.cycle < self.max_cycles:
-            core.step(self.chunk)
-            if self._all_converged(core, active):
-                break
+        # The simulation allocates no reference cycles, so the cyclic
+        # GC only adds pauses to the hot loop; suspend it for the run.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            while core.cycle < self.max_cycles:
+                core.step(self.chunk)
+                if self._all_converged(core, active):
+                    break
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         capped = core.cycle >= self.max_cycles
         result = core.result(warmup=self.warmup)
         converged = tuple(

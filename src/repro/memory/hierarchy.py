@@ -54,6 +54,21 @@ class MemoryHierarchy:
         # Per-thread count of loads serviced by each level (for the
         # balancer's L2-miss monitoring and for reports).
         self.level_counts = {level: [0, 0] for level in MemLevel}
+        # Hot-path aliases: latency constants hoisted out of the config
+        # attribute chains, and the per-level counter lists (the same
+        # list objects as in ``level_counts``, so ``reset`` keeps them
+        # in sync by clearing in place).
+        self._tlb_penalty = config.tlb.miss_penalty
+        self._l1_latency = config.l1d.latency
+        self._l2_latency = config.l2.latency
+        self._l3_latency = config.l3.latency
+        self._mem_duration = (config.memory.dram_latency
+                              + config.memory.dram_bus_gap)
+        self._store_latency = config.store_latency
+        self._l1_counts = self.level_counts[MemLevel.L1]
+        self._l2_counts = self.level_counts[MemLevel.L2]
+        self._l3_counts = self.level_counts[MemLevel.L3]
+        self._mem_counts = self.level_counts[MemLevel.MEM]
 
     def reset(self) -> None:
         """Invalidate all state and statistics."""
@@ -106,6 +121,44 @@ class MemoryHierarchy:
         self.level_counts[level][thread_id] += 1
         return LoadResult(complete, level)
 
+    def load_complete(self, addr: int, issue: int, thread_id: int = 0,
+                      now: int | None = None) -> int:
+        """Data-ready time of a load issuing at cycle ``issue``.
+
+        The core's decode loop only needs the completion time, so this
+        hot-path twin of :meth:`load` skips the :class:`LoadResult`
+        allocation and the config attribute chains.  Timing, cache/TLB
+        state transitions and every statistic are identical to
+        :meth:`load` (asserted by the test-suite); keep the two in
+        sync.
+        """
+        if now is None:
+            now = issue
+        lat = 0
+        if not self.tlb.access(addr, issue, thread_id):
+            lat = self._tlb_penalty
+        if self.l1d.access(addr, issue, thread_id):
+            self._l1_counts[thread_id] += 1
+            return issue + lat + self._l1_latency
+        want = issue + lat
+        if self.l2.access(addr, want, thread_id):
+            duration = self._l2_latency
+            start = self.lmq.acquire(want, now, thread_id, duration)
+            complete = start + duration
+            self._l2_counts[thread_id] += 1
+        elif self.l3.access(addr, want, thread_id):
+            duration = self._l3_latency
+            start = self.lmq.acquire(want, now, thread_id, duration)
+            complete = start + duration
+            self._l3_counts[thread_id] += 1
+        else:
+            start = self.lmq.acquire(want, now, thread_id,
+                                     self._mem_duration)
+            complete = self.dram.access(start, now, thread_id)
+            self._mem_counts[thread_id] += 1
+        self.lmq.fill(complete)
+        return complete
+
     def store(self, addr: int, now: int, thread_id: int = 0) -> int:
         """Issue a store at cycle ``now``; returns completion time.
 
@@ -120,7 +173,7 @@ class MemoryHierarchy:
             # line see it cached, without charging the store latency.
             if not self.l2.access(addr, now, thread_id):
                 self.l3.access(addr, now, thread_id)
-        return now + self.config.store_latency
+        return now + self._store_latency
 
     def l2_miss_count(self, thread_id: int) -> int:
         """Loads by ``thread_id`` serviced below L2 (i.e. L2 misses)."""

@@ -13,10 +13,12 @@ from repro.workloads.spec import (
     make_spec_workload,
 )
 from repro.workloads.synth import AppProfile, SyntheticApp
+from repro.workloads.tracecache import cached_workload
 
 __all__ = [
     "AppProfile",
     "SyntheticApp",
+    "cached_workload",
     "SPEC_PROFILES",
     "CASE_STUDY_PAIRS",
     "make_spec_workload",

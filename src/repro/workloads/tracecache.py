@@ -1,0 +1,65 @@
+"""Memoised workload construction.
+
+Building a workload trace is deterministic in (name, machine
+configuration, base address): the micro-benchmarks size their working
+sets from the cache geometry and the SPEC profiles expand fixed
+instruction mixes.  Sweeps re-measure the same few workloads hundreds
+of times, so the sources are built once and shared.
+
+Sharing is safe because trace sources are immutable to the simulator:
+:class:`~repro.core.thread.HardwareThread` copies the repetition into
+its own list and never writes back (the test-suite pins this down).
+The cache key uses :meth:`CoreConfig.fingerprint`, so two equal
+configurations share entries while any parameter change (cache sizes,
+latencies, balancer thresholds, ...) misses.
+"""
+
+from __future__ import annotations
+
+from repro.config import CoreConfig
+from repro.isa.trace import TraceSource
+from repro.microbench import make_microbenchmark
+from repro.workloads.spec import SPEC_PROFILES, make_spec_workload
+
+#: (name, base_address, config fingerprint) -> built TraceSource.
+_CACHE: dict[tuple[str, int, str], TraceSource] = {}
+
+#: Cache-effectiveness counters (inspectable; see :func:`cache_info`).
+_HITS = 0
+_MISSES = 0
+
+
+def cached_workload(name: str, config: CoreConfig,
+                    base_address: int = 0) -> TraceSource:
+    """Build (or fetch) the trace source for ``name`` under ``config``.
+
+    Dispatches to :func:`make_spec_workload` for SPEC profile names and
+    :func:`make_microbenchmark` otherwise, exactly like the experiment
+    layer's ad-hoc construction did before memoisation.
+    """
+    global _HITS, _MISSES
+    key = (name, base_address, config.fingerprint())
+    source = _CACHE.get(key)
+    if source is not None:
+        _HITS += 1
+        return source
+    _MISSES += 1
+    if name in SPEC_PROFILES:
+        source = make_spec_workload(name, config, base_address)
+    else:
+        source = make_microbenchmark(name, config, base_address)
+    _CACHE[key] = source
+    return source
+
+
+def cache_info() -> dict[str, int]:
+    """Hit/miss/size counters of the trace cache."""
+    return {"hits": _HITS, "misses": _MISSES, "entries": len(_CACHE)}
+
+
+def clear_cache() -> None:
+    """Drop all cached sources and zero the counters (for tests)."""
+    global _HITS, _MISSES
+    _CACHE.clear()
+    _HITS = 0
+    _MISSES = 0
