@@ -9,6 +9,14 @@ experiment suite serially and with worker processes.
 Everything is written to ``BENCH_simcore.json`` at the repository root
 so speedups across commits and machines are comparable.  Set
 ``BENCH_JOBS`` to pin the worker count (default: all cores).
+
+The bench also measures the emulated PMU's cost: a PMU-off vs PMU-on
+(counters + interval sampling) comparison, recorded under ``"pmu"``.
+When the committed baseline file was produced on a comparable host
+(same config fingerprint, Python version and core count), the bench
+asserts the PMU-off engine has not regressed by more than 10% against
+it -- the PMU's raw counters ride in the hot loop unconditionally, so
+this is the guard that keeps them cheap.
 """
 
 from __future__ import annotations
@@ -58,6 +66,52 @@ def _measure_scenario(config, names, priorities):
     }
 
 
+def _measure_pmu_overhead(config, repeats=3):
+    """PMU-off vs PMU-on wall clock for one SMT scenario (best-of-N).
+
+    PMU-on includes interval sampling, the most expensive optional
+    part; PMU-off is the exact configuration every uninstrumented run
+    uses.  Best-of-N suppresses scheduler noise on small scenarios.
+    """
+    from repro.pmu import Pmu
+
+    def run(with_pmu: bool) -> float:
+        runner = FameRunner(config, min_repetitions=3,
+                            max_cycles=1_500_000)
+        primary = make_microbenchmark("cpu_int", config)
+        secondary = make_microbenchmark("ldint_l2", config,
+                                        base_address=SECONDARY_BASE)
+        pmu = Pmu(sample_period=4096) if with_pmu else None
+        start = time.perf_counter()
+        runner.run_pair(primary, secondary, priorities=(4, 4), pmu=pmu)
+        return time.perf_counter() - start
+
+    off = min(run(False) for _ in range(repeats))
+    on = min(run(True) for _ in range(repeats))
+    return {
+        "scenario": "smt_4_4_cpu_int_ldint_l2",
+        "wall_off_s": round(off, 4),
+        "wall_on_s": round(on, 4),
+        "overhead_on_vs_off": round(on / off, 3) if off else None,
+    }
+
+
+def _load_baseline(path):
+    """The committed BENCH_simcore.json, if present and parseable."""
+    try:
+        return json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+
+
+def _comparable(prior, payload) -> bool:
+    """True when the baseline came from an equivalent host + config."""
+    if not prior:
+        return False
+    return all(prior.get(k) == payload[k]
+               for k in ("config_fingerprint", "python", "cpu_count"))
+
+
 def _measure_suite(config, jobs):
     clear_cache()
     ctx = ExperimentContext(config=config, min_repetitions=3,
@@ -102,6 +156,8 @@ def test_bench_perf_writes_simcore_json():
             suite_ref["wall_s"] / suite_fast_jobs["wall_s"], 3),
     }
 
+    pmu_overhead = _measure_pmu_overhead(fast_cfg)
+
     payload = {
         "config_fingerprint": fast_cfg.fingerprint(),
         "python": platform.python_version(),
@@ -109,8 +165,12 @@ def test_bench_perf_writes_simcore_json():
         "bench_jobs": jobs,
         "scenarios": scenarios,
         "suite": suite,
+        "pmu": pmu_overhead,
     }
     out = ROOT / "BENCH_simcore.json"
+    prior = _load_baseline(out)
+    gate = _comparable(prior, payload)
+    payload["pmu"]["baseline_gate_ran"] = gate
     out.write_text(json.dumps(payload, indent=2) + "\n")
 
     # Sanity floor, deliberately loose: on a single, possibly noisy
@@ -118,3 +178,21 @@ def test_bench_perf_writes_simcore_json():
     # under both engines and the engines must agree cycle-for-cycle.
     assert suite["speedup_engine"] > 0.5
     assert all(s["speedup"] is not None for s in scenarios.values())
+
+    # PMU-off regression gate: with the PMU detached, the always-on
+    # raw counters are the only cost the subsystem adds to the hot
+    # loop, and it must stay within 10% of the committed baseline.
+    # Only meaningful when the baseline ran on an equivalent host
+    # (cross-machine wall-clock comparisons say nothing); a small
+    # absolute slack keeps sub-100ms scenarios out of timer noise.
+    if gate:
+        prior_pmu = prior.get("pmu", {})
+        base_off = prior_pmu.get("wall_off_s")
+        if base_off is None:  # first baseline with a pmu section
+            base_off = (prior["scenarios"]
+                        ["smt_4_4_cpu_int_ldint_l2"]
+                        ["fast_forward"]["wall_s"])
+        measured = pmu_overhead["wall_off_s"]
+        assert measured <= base_off * 1.10 + 0.05, (
+            f"PMU-off run regressed: {measured:.4f}s vs baseline "
+            f"{base_off:.4f}s (+10% budget)")

@@ -6,6 +6,8 @@ Usage::
     power5-repro table3
     power5-repro all --preset default --min-reps 10
     power5-repro all --jobs 4
+    power5-repro figure2 --pmu --pmu-sample 4096
+    power5-repro pmu --primary cpu_int --secondary ldint_mem --diff 4
     python -m repro figure5 --json results.json
 """
 
@@ -30,7 +32,8 @@ def build_parser() -> argparse.ArgumentParser:
                     "Processor' (ISCA 2008) on the simulator.")
     parser.add_argument(
         "experiment",
-        help="experiment id (see 'list'), or 'all', or 'list'")
+        help="experiment id (see 'list'), or 'all', 'list', or 'pmu' "
+             "(instrument one workload pair with the emulated PMU)")
     parser.add_argument(
         "--preset", choices=("small", "default"), default="small",
         help="machine preset: 'small' (scaled caches, fast; default) "
@@ -52,6 +55,33 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--json", metavar="PATH",
         help="also dump experiment data as JSON to PATH")
+    pmu = parser.add_argument_group("PMU / observability")
+    pmu.add_argument(
+        "--pmu", action="store_true",
+        help="instrument every measurement with the emulated PMU; "
+             "prints CPI stacks and writes a Chrome-trace file")
+    pmu.add_argument(
+        "--pmu-sample", type=int, default=0, metavar="N",
+        help="PMU interval-sampling period in cycles "
+             "(0 = counters only, no time series)")
+    pmu.add_argument(
+        "--pmu-trace", metavar="PATH",
+        help="Chrome-trace (Perfetto) output path "
+             "(default: pmu_<experiment>.trace.json when --pmu is on)")
+    pmu.add_argument(
+        "--pmu-jsonl", metavar="PATH",
+        help="also dump PMU counters/samples/FAME telemetry as JSONL")
+    pmu.add_argument(
+        "--primary", default="cpu_int", metavar="NAME",
+        help="'pmu' experiment: primary-thread microbenchmark")
+    pmu.add_argument(
+        "--secondary", default="ldint_mem", metavar="NAME",
+        help="'pmu' experiment: secondary-thread microbenchmark "
+             "('none' for single-thread mode)")
+    pmu.add_argument(
+        "--diff", type=int, default=0, metavar="D",
+        help="'pmu' experiment: priority difference PrioP-PrioS "
+             "(-5..5)")
     return parser
 
 
@@ -68,14 +98,19 @@ def main(argv: list[str] | None = None) -> int:
     ctx = ExperimentContext(config=config,
                             min_repetitions=args.min_reps,
                             max_cycles=args.max_cycles,
-                            jobs=args.jobs)
+                            jobs=args.jobs,
+                            pmu=args.pmu or args.experiment == "pmu",
+                            pmu_sample=args.pmu_sample)
+    if args.experiment == "pmu":
+        return _run_pmu(args, ctx)
     if args.experiment == "all":
         ids = list(EXPERIMENTS)
     elif args.experiment in EXPERIMENTS:
         ids = [args.experiment]
     else:
         print(f"unknown experiment {args.experiment!r}; "
-              f"available: {', '.join(EXPERIMENTS)} (or 'all', 'list')",
+              f"available: {', '.join(EXPERIMENTS)} "
+              f"(or 'all', 'list', 'pmu')",
               file=sys.stderr)
         return 2
     reports = []
@@ -86,6 +121,8 @@ def main(argv: list[str] | None = None) -> int:
         print(report)
         print(f"   [{elapsed:.1f}s, {ctx.cached_runs()} cached runs]\n")
         reports.append(report)
+    if args.pmu:
+        _print_pmu_appendix(args, ctx)
     if args.json:
         payload = [{"id": r.experiment_id, "title": r.title,
                     "paper_reference": r.paper_reference,
@@ -94,6 +131,57 @@ def main(argv: list[str] | None = None) -> int:
             json.dump(payload, fh, indent=2)
         print(f"wrote {args.json}")
     return 0
+
+
+def _run_pmu(args, ctx: ExperimentContext) -> int:
+    """The 'pmu' experiment: instrument one measurement and dump it."""
+    from repro.experiments.report import (render_counters,
+                                          render_cpi_stacks)
+    secondary = None if args.secondary in (None, "none") else args.secondary
+    if secondary is not None:
+        metrics = ctx.pair_at_diff(args.primary, secondary, args.diff)
+        label = f"{args.primary}+{secondary} diff {args.diff:+d}"
+        report = metrics.pmu
+    else:
+        metrics = ctx.single(args.primary)
+        label = f"single {args.primary}"
+        report = metrics.pmu
+    print(render_counters(report, title=f"PMU counters: {label}"))
+    print()
+    print(render_cpi_stacks(
+        [(label, stack) for stack in report.cpi_stacks()]))
+    if report.samples:
+        print(f"\n{len(report.samples)} interval samples "
+              f"(period {report.sample_period} cycles)")
+    if report.fame_samples:
+        print(f"{len(report.fame_samples)} FAME convergence points")
+    _export_pmu([(label, report)], args, default_stem="pmu")
+    return 0
+
+
+def _print_pmu_appendix(args, ctx: ExperimentContext) -> None:
+    """CPI-stack appendix + trace export after instrumented runs."""
+    from repro.experiments.report import render_cpi_stacks
+    labelled = ctx.pmu_reports()
+    if not labelled:
+        return
+    stacks = [(label, stack) for label, report in labelled
+              for stack in report.cpi_stacks()]
+    print(render_cpi_stacks(stacks, title="PMU CPI stacks"))
+    _export_pmu(labelled, args, default_stem=args.experiment)
+
+
+def _export_pmu(labelled_reports, args, default_stem: str) -> None:
+    from repro.pmu import report_records, write_chrome_trace, write_jsonl
+    trace_path = args.pmu_trace or f"pmu_{default_stem}.trace.json"
+    count = write_chrome_trace(trace_path, labelled_reports)
+    print(f"wrote {trace_path} ({count} trace events)")
+    if args.pmu_jsonl:
+        records = []
+        for label, report in labelled_reports:
+            records.extend(report_records(report, label))
+        count = write_jsonl(args.pmu_jsonl, records)
+        print(f"wrote {args.pmu_jsonl} ({count} records)")
 
 
 def _jsonable(obj):

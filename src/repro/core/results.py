@@ -35,6 +35,19 @@ class ThreadResult:
     wasted_slots: int = 0
     slots_lost_gct: int = 0
     warmup: int = 1   # cold-start repetitions excluded when possible
+    # PMU counters (exact in both engines; see repro.pmu).  The
+    # per-cause buckets partition wasted_slots, and together with
+    # groups_dispatched and slots_lost_gct they partition owned_slots.
+    decoded: int = 0
+    groups_dispatched: int = 0
+    slots_lost_stall: int = 0
+    slots_lost_balancer: int = 0
+    slots_lost_throttle: int = 0
+    slots_lost_other: int = 0
+    operand_wait_cycles: int = 0
+    fu_wait_cycles: int = 0
+    flushed_instructions: int = 0
+    priority_changes: int = 0
 
     @property
     def accounted_cycles(self) -> int:

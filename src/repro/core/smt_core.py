@@ -557,7 +557,12 @@ class SMTCore:
         update or hook fires in the span, so the only observable
         effects are the slot-ownership counters (owned / wasted /
         lost-to-GCT, in the same precedence as ``_decode_slot``) and
-        the balancer's stalled-cycle statistics.
+        the balancer's stalled-cycle statistics.  The per-cause PMU
+        buckets are attributed in closed form too: the planner caps
+        every span at ``stall_until``, the next retirement and the
+        next balancer window, so a thread's blocking cause
+        (stall / balancer-stall / throttle / GCT-full) is constant
+        across the whole span and one bucket absorbs all its slots.
         """
         threads = self._threads
         t0, t1 = threads[0], threads[1]
@@ -574,8 +579,12 @@ class SMTCore:
             if not owned:
                 continue
             th.owned_slots += owned
-            if th.stall_until > a or th.balancer_stalled:
+            if th.stall_until > a:
                 th.wasted_slots += owned
+                th.slots_lost_stall += owned
+            elif th.balancer_stalled:
+                th.wasted_slots += owned
+                th.slots_lost_balancer += owned
             elif th.throttled:
                 if gct_full:
                     # Non-eligible slots waste on the throttle;
@@ -586,10 +595,12 @@ class SMTCore:
                                 - before // interval)
                     th.slots_lost_gct += eligible
                     th.wasted_slots += owned - eligible
+                    th.slots_lost_throttle += owned - eligible
                 else:
                     # The planner capped the span before the first
                     # throttle-eligible slot.
                     th.wasted_slots += owned
+                    th.slots_lost_throttle += owned
             else:
                 # A ready thread owns no slots in the span (the
                 # planner capped it), so only the GCT case remains.
@@ -621,13 +632,19 @@ class SMTCore:
         True when a group was dispatched (the cycle was *eventful*);
         False when the slot was wasted or lost.
         """
-        if th.stall_until > now or th.balancer_stalled:
+        if th.stall_until > now:
             th.wasted_slots += 1
+            th.slots_lost_stall += 1
+            return False
+        if th.balancer_stalled:
+            th.wasted_slots += 1
+            th.slots_lost_balancer += 1
             return False
         (break_long, branch_ends, d2i, fx_lat, mul_lat, fp_lat,
          br_lat, misp_pen, gct_groups, thr_interval) = self._dec_consts
         if th.throttled and th.owned_slots % thr_interval:
             th.wasted_slots += 1
+            th.slots_lost_throttle += 1
             return False
         if self._gct_used >= gct_groups:
             th.slots_lost_gct += 1
@@ -638,6 +655,7 @@ class SMTCore:
         n = len(trace)
         if pos >= n:  # defensive: advance_repetition keeps pos < n
             th.wasted_slots += 1
+            th.slots_lost_other += 1
             return False
 
         if not width:
@@ -665,6 +683,8 @@ class SMTCore:
         start_pos = pos
         start_rep = th.rep_index
         tracer = self._tracer
+        op_wait = 0
+        fu_wait = 0
 
         while count < width and pos < n:
             ins = trace[pos]
@@ -682,6 +702,7 @@ class SMTCore:
                 t = reg_ready[s2]
                 if t > earliest:
                     earliest = t
+            op_wait += earliest - base
 
             if op == _OP_FX:
                 start = earliest
@@ -691,6 +712,7 @@ class SMTCore:
                 fxu.total_wait += start - earliest
                 fxu.issues += 1
                 fxu_ti[tid] += 1
+                fu_wait += start - earliest
                 comp = start + fx_lat
             elif op == _OP_LOAD:
                 start = earliest
@@ -700,6 +722,7 @@ class SMTCore:
                 lsu.total_wait += start - earliest
                 lsu.issues += 1
                 lsu_ti[tid] += 1
+                fu_wait += start - earliest
                 comp = hier_load(addr, start, tid, now)
                 long_dsts.append(dst)
             elif op == _OP_STORE:
@@ -710,6 +733,7 @@ class SMTCore:
                 lsu.total_wait += start - earliest
                 lsu.issues += 1
                 lsu_ti[tid] += 1
+                fu_wait += start - earliest
                 comp = hier_store(addr, start, tid)
             elif op == _OP_FX_MUL:
                 start = earliest
@@ -719,14 +743,17 @@ class SMTCore:
                 fxu.total_wait += start - earliest
                 fxu.issues += 1
                 fxu_ti[tid] += 1
+                fu_wait += start - earliest
                 comp = start + mul_lat
                 long_dsts.append(dst)
             elif op == _OP_FP:
                 start = fpu_issue(earliest, tid)
+                fu_wait += start - earliest
                 comp = start + fp_lat
                 long_dsts.append(dst)
             elif op == _OP_BRANCH:
                 start = self._bxu_issue(earliest, tid)
+                fu_wait += start - earliest
                 comp = start + br_lat
                 pos += 1
                 count += 1
@@ -747,6 +774,7 @@ class SMTCore:
                 start = comp = earliest
                 if self.honor_priority_nops:
                     if self.interface.execute_nop(tid, ins, th.privilege):
+                        th.priority_changes += 1
                         self._rebuild_arbiter()
             else:  # _OP_NOP
                 start = comp = earliest
@@ -764,8 +792,13 @@ class SMTCore:
             # First instruction of the group hit a break rule against an
             # empty group -- cannot happen, but never dispatch nothing.
             th.wasted_slots += 1
+            th.slots_lost_other += 1
             return False
 
+        if op_wait:
+            th.operand_wait_cycles += op_wait
+        if fu_wait:
+            th.fu_wait_cycles += fu_wait
         rep_done = pos >= n
         if start_pos == 0 and len(th.rep_start_times) == start_rep:
             th.rep_start_times.append(now)
@@ -875,6 +908,16 @@ class SMTCore:
                 owned_slots=th.owned_slots,
                 wasted_slots=th.wasted_slots,
                 slots_lost_gct=th.slots_lost_gct,
+                decoded=th.decoded,
+                groups_dispatched=th.groups_dispatched,
+                slots_lost_stall=th.slots_lost_stall,
+                slots_lost_balancer=th.slots_lost_balancer,
+                slots_lost_throttle=th.slots_lost_throttle,
+                slots_lost_other=th.slots_lost_other,
+                operand_wait_cycles=th.operand_wait_cycles,
+                fu_wait_cycles=th.fu_wait_cycles,
+                flushed_instructions=th.flushed_instructions,
+                priority_changes=th.priority_changes,
             ))
         return CoreResult(cycles=self._cycle,
                           priorities=(prio_p, prio_s),

@@ -58,16 +58,32 @@ class HardwareThread:
         self.throttled = False
         self.gated = False            # repetition gate (pipeline sync)
 
-        # Counters.
+        # Counters.  ``wasted_slots`` aggregates the per-cause PMU
+        # buckets below it (stall + balancer + throttle + other); the
+        # slot identity owned == dispatched + wasted + lost_gct holds
+        # at every cycle and backs the exact CPI-stack decomposition.
         self.owned_slots = 0
         self.wasted_slots = 0
         self.slots_lost_gct = 0
+        self.slots_lost_stall = 0      # redirect / flush-penalty wait
+        self.slots_lost_balancer = 0   # balancer GCT-occupancy stall
+        self.slots_lost_throttle = 0   # reduced decode duty-cycle
+        self.slots_lost_other = 0      # defensive paths (empty group)
         self.decoded = 0
         self.retired = 0
         self.groups_dispatched = 0
         self.mispredicts = 0
         self.flushes = 0
         self.flushed_instructions = 0
+        # Stall attribution accumulated at decode time: cycles a
+        # dispatched instruction waited on source operands past the
+        # front-end depth, and cycles it waited for a busy functional
+        # unit past operand readiness.
+        self.operand_wait_cycles = 0
+        self.fu_wait_cycles = 0
+        # Applied in-trace priority-change requests (PRIO_NOPs that
+        # actually changed this thread's priority).
+        self.priority_changes = 0
 
         # FAME accounting: completion cycle and cumulative retired
         # instruction count at the end of each complete repetition,

@@ -47,6 +47,10 @@ class ThreadMetrics:
     ipc: float
     avg_rep_cycles: float
     repetitions: int
+    #: PMU report of the measurement (single-thread cells only; pair
+    #: cells carry theirs on :class:`PairMetrics`).  None unless the
+    #: context ran with ``pmu=True``.
+    pmu: object = None
 
 
 @dataclass(frozen=True)
@@ -58,6 +62,9 @@ class PairMetrics:
     secondary: ThreadMetrics | None
     cycles: int
     capped: bool = False
+    #: :class:`repro.pmu.PmuReport` of the measurement, or None unless
+    #: the context ran with ``pmu=True``.
+    pmu: object = None
 
     @property
     def total_ipc(self) -> float:
@@ -96,6 +103,11 @@ class ExperimentContext:
     maiv: float = 0.01
     max_cycles: int = 2_500_000
     jobs: int = 1
+    #: Instrument every measurement with the emulated PMU; the frozen
+    #: :class:`repro.pmu.PmuReport` rides on each cell's metrics.
+    pmu: bool = False
+    #: Interval-sampling period in cycles (0 = counters only).
+    pmu_sample: int = 0
     _cache: dict = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
@@ -115,16 +127,19 @@ class ExperimentContext:
         worker process via :mod:`repro.experiments.parallel`.
         """
         kind = key[0]
+        pmu = self._make_pmu()
         if kind == "single":
             name = key[1]
-            fame = self.runner.run_single(self._workload(name))
-            return _thread_metrics(fame.thread(0), name, 4)
+            fame = self.runner.run_single(self._workload(name), pmu=pmu)
+            return _thread_metrics(fame.thread(0), name, 4,
+                                   pmu=_pmu_report(pmu))
         if kind == "pair":
             _, primary, secondary, priorities = key
             fame = self.runner.run_pair(
                 self._workload(primary),
                 self._workload(secondary, SECONDARY_BASE),
-                priorities=priorities)
+                priorities=priorities,
+                pmu=pmu)
             return PairMetrics(
                 priorities=priorities,
                 primary=_thread_metrics(fame.thread(0), primary,
@@ -132,8 +147,16 @@ class ExperimentContext:
                 secondary=_thread_metrics(fame.thread(1), secondary,
                                           priorities[1]),
                 cycles=fame.cycles,
-                capped=fame.capped)
+                capped=fame.capped,
+                pmu=_pmu_report(pmu))
         raise ValueError(f"unknown cell kind in key: {key!r}")
+
+    def _make_pmu(self):
+        """A fresh PMU handle per measurement, or None when disabled."""
+        if not self.pmu:
+            return None
+        from repro.pmu import Pmu
+        return Pmu(sample_period=self.pmu_sample or None)
 
     def prefetch(self, cells) -> int:
         """Ensure every cell in ``cells`` is measured; returns #computed.
@@ -180,11 +203,36 @@ class ExperimentContext:
         """Number of distinct measurements performed so far."""
         return len(self._cache)
 
+    def pmu_reports(self) -> list[tuple[str, object]]:
+        """(label, :class:`repro.pmu.PmuReport`) per instrumented cell.
 
-def _thread_metrics(tr, name: str, priority: int) -> ThreadMetrics:
+        Empty unless the context ran with ``pmu=True``.  Labels encode
+        the cell key, e.g. ``cpu_int+ldint_mem prio 6v2``.
+        """
+        out = []
+        for key, value in self._cache.items():
+            report = getattr(value, "pmu", None)
+            if report is None:
+                continue
+            if key[0] == "single":
+                label = f"single {key[1]}"
+            else:
+                _, primary, secondary, (prio_p, prio_s) = key
+                label = f"{primary}+{secondary} prio {prio_p}v{prio_s}"
+            out.append((label, report))
+        return out
+
+
+def _thread_metrics(tr, name: str, priority: int,
+                    pmu=None) -> ThreadMetrics:
     return ThreadMetrics(
         workload=name,
         priority=priority,
         ipc=tr.ipc,
         avg_rep_cycles=tr.avg_repetition_cycles,
-        repetitions=tr.repetitions)
+        repetitions=tr.repetitions,
+        pmu=pmu)
+
+
+def _pmu_report(pmu):
+    return pmu.report() if pmu is not None else None

@@ -43,12 +43,13 @@ def default_jobs() -> int:
 
 
 def _init_worker(config, min_repetitions: int, maiv: float,
-                 max_cycles: int) -> None:
+                 max_cycles: int, pmu: bool = False,
+                 pmu_sample: int = 0) -> None:
     from repro.experiments.base import ExperimentContext
     global _WORKER_CTX
     _WORKER_CTX = ExperimentContext(
         config=config, min_repetitions=min_repetitions, maiv=maiv,
-        max_cycles=max_cycles)
+        max_cycles=max_cycles, pmu=pmu, pmu_sample=pmu_sample)
 
 
 def _run_cell(key: Cell):
@@ -68,5 +69,5 @@ def compute_cells(ctx, keys: Iterable[Cell]) -> Iterator[tuple[Cell, object]]:
             max_workers=jobs,
             initializer=_init_worker,
             initargs=(ctx.config, ctx.min_repetitions, ctx.maiv,
-                      ctx.max_cycles)) as pool:
+                      ctx.max_cycles, ctx.pmu, ctx.pmu_sample)) as pool:
         yield from zip(keys, pool.map(_run_cell, keys))

@@ -39,6 +39,54 @@ def render_series(name: str, xs: Sequence[object],
     return f"{name}: {points}"
 
 
+def render_cpi_stacks(labelled_stacks, title: str = "CPI stacks"
+                      ) -> str:
+    """PMU CPI-stack table: one row per (label, thread) stack.
+
+    ``labelled_stacks`` is an iterable of ``(label, CpiStack)``.  Each
+    component is printed as its contribution to CPI next to its share
+    of total cycles, so rows read like the paper's slot-accounting
+    discussion: where did this thread's cycles go.
+    """
+    from repro.pmu.cpi import COMPONENTS
+    headers = ["run", "t", "cycles", "retired", "cpi"]
+    headers += [f"{c}%" for c in COMPONENTS]
+    rows = []
+    for label, stack in labelled_stacks:
+        fr = stack.fractions()
+        row: list[object] = [label, stack.thread_id, stack.cycles,
+                             stack.retired, stack.cpi]
+        row += [100.0 * fr[c] for c in COMPONENTS]
+        rows.append(row)
+    return render_table(headers, rows, title=title)
+
+
+def render_counters(report, title: str = "PMU counters") -> str:
+    """Full counter dump of one :class:`repro.pmu.PmuReport`."""
+    headers = ["event", "thread 0", "thread 1"]
+    rows = [[name, values[0], values[1]]
+            for name, values in report.counters]
+    return render_table(headers, rows, title=title)
+
+
+def pmu_summary_columns(report, thread_id: int) -> dict[str, object]:
+    """The PMU columns experiment tables append per thread.
+
+    Compact observability: decode share of cycles, the dominant stall
+    component, and off-core memory traffic.
+    """
+    stack = report.cpi_stack(thread_id)
+    fractions = stack.fractions()
+    stall_name, stall_frac = max(
+        ((k, v) for k, v in fractions.items() if k != "decode"),
+        key=lambda kv: kv[1])
+    return {
+        "decode%": 100.0 * fractions["decode"],
+        "top stall": f"{stall_name} {100.0 * stall_frac:.1f}%",
+        "mem ld": report.counter("PM_LD_MEM", thread_id),
+    }
+
+
 def _fmt(value: object) -> str:
     if isinstance(value, float):
         if value != value:  # NaN

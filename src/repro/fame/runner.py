@@ -85,15 +85,22 @@ class FameRunner:
                  privileges: tuple[PrivilegeLevel, PrivilegeLevel] = (
                      PrivilegeLevel.USER, PrivilegeLevel.USER),
                  rep_gate: RepGate | None = None,
-                 core: SMTCore | None = None) -> FameResult:
+                 core: SMTCore | None = None,
+                 pmu=None) -> FameResult:
         """Measure a (PThread, SThread) pair at fixed priorities.
 
         ``secondary=None`` measures the primary in single-thread mode.
         A caller may pass a pre-built ``core`` to install hooks (e.g. a
-        kernel model's timer interrupts) before the run.
+        kernel model's timer interrupts) before the run.  Passing a
+        :class:`repro.pmu.Pmu` instruments the run: it is attached
+        after :meth:`SMTCore.load` (which clears hooks), receives the
+        per-repetition FAME convergence telemetry, and captures the
+        final counter bank.
         """
         core = core or SMTCore(self.config)
         core.load([primary, secondary], priorities, privileges, rep_gate)
+        if pmu is not None:
+            pmu.attach(core)
         active = [i for i in (0, 1)
                   if (primary, secondary)[i] is not None]
         # The simulation allocates no reference cycles, so the cyclic
@@ -113,12 +120,40 @@ class FameRunner:
         result = core.result(warmup=self.warmup)
         converged = tuple(
             self._thread_converged(core, tid) for tid in active)
+        if pmu is not None:
+            self._emit_fame_telemetry(core, active, pmu)
+            pmu.finish(core)
         return FameResult(result=result, converged=converged, capped=capped)
 
     def run_single(self, workload: TraceSource,
-                   priority: int = 4) -> FameResult:
+                   priority: int = 4, pmu=None) -> FameResult:
         """Single-thread-mode measurement (the paper's ST columns)."""
-        return self.run_pair(workload, None, priorities=(priority, 0))
+        return self.run_pair(workload, None, priorities=(priority, 0),
+                             pmu=pmu)
+
+    @staticmethod
+    def _emit_fame_telemetry(core: SMTCore, active: list[int],
+                             pmu) -> None:
+        """Emit the accumulated-IPC convergence series to the PMU.
+
+        One point per complete repetition; ``maiv_gap`` is the relative
+        change MAIV bounds, with the first repetition reporting 1.0
+        (unconverged by definition -- and deliberately not NaN, so the
+        telemetry participates cleanly in equality assertions).
+        """
+        for tid in active:
+            th = core.thread(tid)
+            series = accumulated_ipc_series(th.rep_end_times,
+                                            th.rep_end_retired)
+            prev: float | None = None
+            for rep, (end, acc) in enumerate(
+                    zip(th.rep_end_times, series)):
+                if prev is None or not acc:
+                    gap = 1.0
+                else:
+                    gap = abs(acc - prev) / acc
+                pmu.emit_fame(tid, rep, end, acc, gap)
+                prev = acc
 
     def _thread_converged(self, core: SMTCore, thread_id: int) -> bool:
         th = core.thread(thread_id)

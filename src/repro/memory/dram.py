@@ -30,6 +30,7 @@ class DRAM:
         self.accesses = 0
         self.thread_accesses = [0, 0]
         self.total_queue_cycles = 0
+        self.thread_queue_cycles = [0, 0]
 
     def reset(self) -> None:
         """Clear bus state and statistics."""
@@ -37,6 +38,7 @@ class DRAM:
         self.accesses = 0
         self.thread_accesses = [0, 0]
         self.total_queue_cycles = 0
+        self.thread_queue_cycles = [0, 0]
 
     def access(self, start: int, now: int, thread_id: int = 0) -> int:
         """Schedule a DRAM access wanting the bus at ``start``.
@@ -59,6 +61,7 @@ class DRAM:
                     moved = True
         starts.append(t)
         self.total_queue_cycles += t - start
+        self.thread_queue_cycles[thread_id] += t - start
         self.accesses += 1
         self.thread_accesses[thread_id] += 1
         return t + self.config.dram_latency

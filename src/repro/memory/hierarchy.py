@@ -52,8 +52,10 @@ class MemoryHierarchy:
         self.lmq = LoadMissQueue(config.memory.lmq_entries)
         self.dram = DRAM(config.memory)
         # Per-thread count of loads serviced by each level (for the
-        # balancer's L2-miss monitoring and for reports).
+        # balancer's L2-miss monitoring and for reports), and of
+        # completed stores (for the PMU).
         self.level_counts = {level: [0, 0] for level in MemLevel}
+        self.store_counts = [0, 0]
         # Hot-path aliases: latency constants hoisted out of the config
         # attribute chains, and the per-level counter lists (the same
         # list objects as in ``level_counts``, so ``reset`` keeps them
@@ -80,6 +82,7 @@ class MemoryHierarchy:
         self.dram.reset()
         for counts in self.level_counts.values():
             counts[0] = counts[1] = 0
+        self.store_counts[0] = self.store_counts[1] = 0
 
     def load(self, addr: int, issue: int, thread_id: int = 0,
              now: int | None = None) -> LoadResult:
@@ -167,6 +170,7 @@ class MemoryHierarchy:
         not stall on lower levels -- POWER5's store queue hides the
         miss latency from the committing thread.
         """
+        self.store_counts[thread_id] += 1
         self.tlb.access(addr, now, thread_id)
         if not self.l1d.access(addr, now, thread_id):
             # Fill the line into L2/L3 as well so later loads of this

@@ -32,6 +32,7 @@ class LoadMissQueue:
         self.acquisitions = 0
         self.total_wait_cycles = 0
         self.thread_acquisitions = [0, 0]
+        self.thread_wait_cycles = [0, 0]
 
     def reset(self) -> None:
         """Free all slots and zero statistics."""
@@ -40,6 +41,7 @@ class LoadMissQueue:
         self.acquisitions = 0
         self.total_wait_cycles = 0
         self.thread_acquisitions = [0, 0]
+        self.thread_wait_cycles = [0, 0]
 
     def occupancy(self, at: int) -> int:
         """Number of slots busy at cycle ``at``."""
@@ -73,6 +75,7 @@ class LoadMissQueue:
                 break
             t = retry
         self.total_wait_cycles += t - start
+        self.thread_wait_cycles[thread_id] += t - start
         self._pending_start = t
         return t
 

@@ -1,0 +1,150 @@
+"""The central counter bank of the emulated PMU.
+
+A :class:`CounterBank` is an immutable snapshot of every registered
+PMU event (:mod:`repro.pmu.events`) for both hardware threads of one
+core.  Snapshots are cheap -- the simulator maintains the underlying
+raw counters unconditionally (like real PMCs, they are always
+counting), so capturing is a read-only walk over existing state, and
+the hot simulation loop pays nothing for the PMU beyond those raw
+increments.
+
+Exactness: every captured value is either updated only at decode time
+(identical in both engines by construction -- the fast-forward planner
+never skips a decode) or mirrored in closed form by the skip
+accounting (slot and balancer-stall counters).  The differential
+test-suite asserts bank equality across the full microbenchmark x
+priority-difference matrix.
+"""
+
+from __future__ import annotations
+
+from repro.memory.hierarchy import MemLevel
+from repro.pmu.events import EVENT_NAMES, EVENTS
+
+
+class CounterBank:
+    """Immutable per-thread values of every PMU event."""
+
+    __slots__ = ("cycles", "priorities", "_values")
+
+    def __init__(self, cycles: int, priorities: tuple[int, int],
+                 values: dict[str, tuple[int, int]]):
+        self.cycles = cycles
+        self.priorities = priorities
+        self._values = values
+
+    # ------------------------------------------------------------------
+    # Capture
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def capture(cls, core) -> "CounterBank":
+        """Snapshot all events from a live :class:`repro.core.SMTCore`."""
+        cycles = core.cycle
+        hier = core.hierarchy
+        bal = core.balancer.stats
+        fus = core.fus
+        levels = hier.level_counts
+
+        def per_thread(attr: str) -> tuple[int, int]:
+            out = [0, 0]
+            for tid in (0, 1):
+                th = core._threads[tid]
+                if th is not None:
+                    out[tid] = getattr(th, attr)
+            return (out[0], out[1])
+
+        def pair(seq) -> tuple[int, int]:
+            return (int(seq[0]), int(seq[1]))
+
+        values = {
+            "PM_CYC": (cycles, cycles),
+            "PM_INST_DISP": per_thread("decoded"),
+            "PM_INST_CMPL": per_thread("retired"),
+            "PM_GRP_DISP": per_thread("groups_dispatched"),
+            "PM_SLOT_GRANT": per_thread("owned_slots"),
+            "PM_SLOT_DECODE": per_thread("groups_dispatched"),
+            "PM_SLOT_LOST_STALL": per_thread("slots_lost_stall"),
+            "PM_SLOT_LOST_BAL": per_thread("slots_lost_balancer"),
+            "PM_SLOT_LOST_THROTTLE": per_thread("slots_lost_throttle"),
+            "PM_SLOT_LOST_GCT": per_thread("slots_lost_gct"),
+            "PM_SLOT_LOST_OTHER": per_thread("slots_lost_other"),
+            "PM_SLOT_WASTED": per_thread("wasted_slots"),
+            "PM_LD_L1_HIT": pair(levels[MemLevel.L1]),
+            "PM_LD_L2_HIT": pair(levels[MemLevel.L2]),
+            "PM_LD_L3_HIT": pair(levels[MemLevel.L3]),
+            "PM_LD_MEM": pair(levels[MemLevel.MEM]),
+            "PM_ST_CMPL": pair(hier.store_counts),
+            "PM_TLB_MISS": pair(hier.tlb.stats.thread_misses),
+            "PM_LMQ_ACQ": pair(hier.lmq.thread_acquisitions),
+            "PM_LMQ_WAIT_CYC": pair(hier.lmq.thread_wait_cycles),
+            "PM_DRAM_ACCESS": pair(hier.dram.thread_accesses),
+            "PM_DRAM_QUEUE_CYC": pair(hier.dram.thread_queue_cycles),
+            "PM_BR_MPRED": per_thread("mispredicts"),
+            "PM_BAL_FLUSH": per_thread("flushes"),
+            "PM_BAL_FLUSH_INST": per_thread("flushed_instructions"),
+            "PM_BAL_STALL_EV": pair(bal.stall_events),
+            "PM_BAL_STALL_CYC": pair(bal.stall_cycles),
+            "PM_BAL_THROTTLE_WIN": pair(bal.throttle_windows),
+            "PM_FXU_ISSUE": pair(fus.fxu.thread_issues),
+            "PM_LSU_ISSUE": pair(fus.lsu.thread_issues),
+            "PM_FPU_ISSUE": pair(fus.fpu.thread_issues),
+            "PM_BXU_ISSUE": pair(fus.bxu.thread_issues),
+            "PM_FU_WAIT_CYC": per_thread("fu_wait_cycles"),
+            "PM_OPERAND_WAIT_CYC": per_thread("operand_wait_cycles"),
+            "PM_PRIO_CHANGE": per_thread("priority_changes"),
+        }
+        missing = set(EVENT_NAMES) - set(values)
+        if missing:  # registry and capture must stay in lock-step
+            raise RuntimeError(f"uncaptured PMU events: {sorted(missing)}")
+        return cls(cycles, core.priorities, values)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def __getitem__(self, name: str) -> tuple[int, int]:
+        return self._values[name]
+
+    def value(self, name: str, thread_id: int) -> int:
+        """One event's value for one thread."""
+        return self._values[name][thread_id]
+
+    def thread(self, thread_id: int) -> dict[str, int]:
+        """All events of one thread, in registry order."""
+        return {name: self._values[name][thread_id]
+                for name in EVENT_NAMES}
+
+    def as_tuple(self) -> tuple:
+        """Canonical immutable form: ((name, (t0, t1)), ...).
+
+        Deterministically ordered; used for equality assertions and as
+        the picklable payload inside :class:`repro.pmu.PmuReport`.
+        """
+        return tuple((name, self._values[name]) for name in EVENT_NAMES)
+
+    @classmethod
+    def from_tuple(cls, cycles: int, priorities: tuple[int, int],
+                   data: tuple) -> "CounterBank":
+        """Rebuild a bank from :meth:`as_tuple` output."""
+        return cls(cycles, priorities, {name: tuple(v) for name, v in data})
+
+    def rows(self) -> list[tuple[str, str, int, int]]:
+        """(name, description, t0, t1) rows in registry order."""
+        return [(e.name, e.description, *self._values[e.name])
+                for e in EVENTS]
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, CounterBank):
+            return NotImplemented
+        return (self.cycles == other.cycles
+                and self.priorities == other.priorities
+                and self._values == other._values)
+
+    def __hash__(self):  # immutable by convention
+        return hash((self.cycles, self.priorities, self.as_tuple()))
+
+    def __repr__(self) -> str:
+        return (f"CounterBank(cycles={self.cycles}, "
+                f"priorities={self.priorities}, "
+                f"events={len(self._values)})")

@@ -1,0 +1,103 @@
+"""CPI-stack decomposition over the PMU's decode-slot counters.
+
+The paper reasons about priorities in decode-slot terms (Eq. 1 and the
+Table 3 / Figures 2-4 discussion): a thread is fast when its owned
+slots decode groups, and slow when owned slots are wasted on stalls or
+when it owns no slots at all.  The simulator's slot accounting is an
+*exact partition* of time, so the stack is exact by construction:
+
+    cycles = decode + redirect-stall + balancer-stall + throttle
+           + gct-full + other + no-slot
+
+where every owned slot lands in exactly one of the first six buckets
+(the slot identity ``owned == dispatched + wasted + lost_gct``) and
+``no-slot`` covers the cycles the arbiter gave to the sibling (or to
+nobody, in the low-power modes).  Dividing each component by retired
+instructions decomposes CPI the same way.  The invariant "components
+sum to total cycles" is asserted by the test-suite for every engine,
+priority mode and workload pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: (component key, PMU event backing it) in stack order.  ``no_slot``
+#: is derived (PM_CYC - PM_SLOT_GRANT) and appended last.
+COMPONENT_EVENTS: tuple[tuple[str, str], ...] = (
+    ("decode", "PM_SLOT_DECODE"),
+    ("stall_redirect", "PM_SLOT_LOST_STALL"),
+    ("stall_balancer", "PM_SLOT_LOST_BAL"),
+    ("stall_throttle", "PM_SLOT_LOST_THROTTLE"),
+    ("stall_gct", "PM_SLOT_LOST_GCT"),
+    ("other", "PM_SLOT_LOST_OTHER"),
+)
+
+#: All component keys in presentation order.
+COMPONENTS: tuple[str, ...] = tuple(
+    k for k, _ in COMPONENT_EVENTS) + ("no_slot",)
+
+
+@dataclass(frozen=True)
+class CpiStack:
+    """Exact decomposition of one thread's cycles (and thus CPI)."""
+
+    thread_id: int
+    cycles: int
+    retired: int
+    components: tuple[tuple[str, int], ...]  # (name, cycles), sums to cycles
+
+    @classmethod
+    def from_bank(cls, bank, thread_id: int) -> "CpiStack":
+        """Build a stack from a :class:`repro.pmu.CounterBank`."""
+        comps = [(key, bank.value(event, thread_id))
+                 for key, event in COMPONENT_EVENTS]
+        no_slot = bank.cycles - bank.value("PM_SLOT_GRANT", thread_id)
+        comps.append(("no_slot", no_slot))
+        return cls(thread_id=thread_id, cycles=bank.cycles,
+                   retired=bank.value("PM_INST_CMPL", thread_id),
+                   components=tuple(comps))
+
+    @classmethod
+    def from_thread_result(cls, tr) -> "CpiStack":
+        """Build a stack from a :class:`repro.core.ThreadResult`."""
+        comps = (
+            ("decode", tr.groups_dispatched),
+            ("stall_redirect", tr.slots_lost_stall),
+            ("stall_balancer", tr.slots_lost_balancer),
+            ("stall_throttle", tr.slots_lost_throttle),
+            ("stall_gct", tr.slots_lost_gct),
+            ("other", tr.slots_lost_other),
+            ("no_slot", tr.cycles - tr.owned_slots),
+        )
+        return cls(thread_id=tr.thread_id, cycles=tr.cycles,
+                   retired=tr.retired, components=comps)
+
+    def component(self, name: str) -> int:
+        """Cycles attributed to one component."""
+        for key, value in self.components:
+            if key == name:
+                return value
+        raise KeyError(f"unknown CPI component {name!r}")
+
+    @property
+    def total(self) -> int:
+        """Sum of all components (equals ``cycles`` by construction)."""
+        return sum(v for _, v in self.components)
+
+    @property
+    def cpi(self) -> float:
+        """Overall cycles per retired instruction."""
+        return self.cycles / self.retired if self.retired else float("inf")
+
+    def component_cpi(self) -> dict[str, float]:
+        """Each component's contribution to CPI."""
+        if not self.retired:
+            return {k: float("inf") for k, _ in self.components}
+        return {k: v / self.retired for k, v in self.components}
+
+    def fractions(self) -> dict[str, float]:
+        """Each component as a fraction of total cycles."""
+        if not self.cycles:
+            return {k: 0.0 for k, _ in self.components}
+        return {k: v / self.cycles for k, v in self.components}

@@ -1,0 +1,154 @@
+"""PMU data export: JSONL records and Chrome-trace (Perfetto) JSON.
+
+Two formats, both dependency-free:
+
+- **JSONL** -- one JSON object per line (counters, samples, FAME
+  telemetry), the shape log pipelines and pandas ingest directly.
+- **Chrome trace** -- the ``chrome://tracing`` / Perfetto event-array
+  format (JSON object with a ``traceEvents`` list).  Repetitions
+  become duration (``"ph": "X"``) slices per hardware thread, sampled
+  series become counter (``"ph": "C"``) tracks, and process/thread
+  metadata names the rows.  Timestamps are simulated cycles written in
+  the format's microsecond field, so 1 us in the viewer = 1 cycle.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+
+
+def write_jsonl(path, records: Iterable[dict]) -> int:
+    """Write one JSON object per line; returns the record count."""
+    count = 0
+    with open(path, "w") as fh:
+        for record in records:
+            fh.write(json.dumps(record, sort_keys=True))
+            fh.write("\n")
+            count += 1
+    return count
+
+
+def report_records(report, label: str = "") -> list[dict]:
+    """Flatten one :class:`repro.pmu.PmuReport` into JSONL records.
+
+    Emits one ``counters`` record per thread, one ``sample`` record
+    per interval sample, and one ``fame`` record per repetition
+    telemetry point.
+    """
+    records: list[dict] = []
+    for tid in (0, 1):
+        workload = report.workloads[tid]
+        if workload is None:
+            continue
+        records.append({
+            "type": "counters",
+            "label": label,
+            "thread": tid,
+            "workload": workload,
+            "priority": report.priorities[tid],
+            "cycles": report.cycles,
+            "events": dict(report.thread_counters(tid)),
+        })
+    for s in report.samples:
+        records.append({
+            "type": "sample",
+            "label": label,
+            "thread": s.thread_id,
+            "cycle": s.cycle,
+            "retired": s.retired,
+            "decoded": s.decoded,
+            "owned_slots": s.owned_slots,
+            "loads": s.loads,
+            "l2_misses": s.l2_misses,
+            "ipc": s.ipc,
+            "slot_share": s.slot_share,
+        })
+    for f in report.fame_samples:
+        records.append({
+            "type": "fame",
+            "label": label,
+            "thread": f.thread_id,
+            "repetition": f.repetition,
+            "cycle": f.end_cycle,
+            "accumulated_ipc": f.accumulated_ipc,
+            "maiv_gap": f.maiv_gap,
+        })
+    return records
+
+
+# ----------------------------------------------------------------------
+# Chrome trace
+# ----------------------------------------------------------------------
+
+
+def trace_events(report, pid: int = 0, label: str = "") -> list[dict]:
+    """Chrome-trace events for one :class:`repro.pmu.PmuReport`.
+
+    One trace *process* per report (``pid``), one trace *thread* per
+    hardware thread.  Every event carries the four keys Perfetto
+    requires (``name``, ``ph``, ``ts``, ``pid``) plus ``tid``.
+    """
+    events: list[dict] = [{
+        "name": "process_name", "ph": "M", "ts": 0, "pid": pid, "tid": 0,
+        "args": {"name": label or f"core {pid} "
+                 f"prio={report.priorities}"},
+    }]
+    for tid in (0, 1):
+        workload = report.workloads[tid]
+        if workload is None:
+            continue
+        events.append({
+            "name": "thread_name", "ph": "M", "ts": 0, "pid": pid,
+            "tid": tid,
+            "args": {"name": f"t{tid} {workload} "
+                     f"prio {report.priorities[tid]}"},
+        })
+        for k, (start, end) in enumerate(report.rep_spans[tid]):
+            events.append({
+                "name": f"rep {k}", "ph": "X", "ts": start,
+                "dur": max(end - start, 1), "pid": pid, "tid": tid,
+                "args": {"repetition": k},
+            })
+    for s in report.samples:
+        events.append({
+            "name": f"t{s.thread_id} ipc", "ph": "C", "ts": s.cycle,
+            "pid": pid, "tid": s.thread_id,
+            "args": {"ipc": s.ipc, "slot_share": s.slot_share,
+                     "l2_misses": s.l2_misses},
+        })
+    for f in report.fame_samples:
+        events.append({
+            "name": f"t{f.thread_id} fame", "ph": "C", "ts": f.end_cycle,
+            "pid": pid, "tid": f.thread_id,
+            "args": {"accumulated_ipc": f.accumulated_ipc,
+                     "maiv_gap": f.maiv_gap},
+        })
+    return events
+
+
+def chrome_trace(reports_with_labels) -> dict:
+    """Assemble a complete Chrome-trace document.
+
+    ``reports_with_labels`` is an iterable of ``(label, PmuReport)``;
+    each report becomes one process row group in the viewer.
+    """
+    events: list[dict] = []
+    for pid, (label, report) in enumerate(reports_with_labels):
+        events.extend(trace_events(report, pid=pid, label=label))
+    return {"traceEvents": events, "displayTimeUnit": "ms",
+            "otherData": {"generator": "repro.pmu",
+                          "time_unit": "1us == 1 simulated cycle"}}
+
+
+def write_chrome_trace(path, reports_with_labels) -> int:
+    """Write a Chrome-trace JSON file; returns the event count."""
+    doc = chrome_trace(reports_with_labels)
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+    return len(doc["traceEvents"])

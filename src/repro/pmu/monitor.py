@@ -1,0 +1,156 @@
+"""The PMU facade: one object that instruments a whole measurement.
+
+:class:`Pmu` ties the subsystem together for callers (FAME runner,
+experiment context, CLI): it optionally attaches an interval sampler
+to the core, receives FAME convergence telemetry from the runner, and
+at the end of the run captures the :class:`CounterBank` plus each
+thread's repetition spans.  :meth:`Pmu.report` freezes everything into
+a :class:`PmuReport` -- an immutable, picklable value object that
+survives the worker-process round-trip of parallel sweeps and
+participates in the byte-identity assertions of the test-suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.pmu.counters import CounterBank
+from repro.pmu.cpi import CpiStack
+from repro.pmu.sampling import IntervalSampler, Sample
+
+
+@dataclass(frozen=True)
+class FameSample:
+    """FAME convergence telemetry after one complete repetition.
+
+    ``accumulated_ipc`` is the average accumulated IPC up to this
+    repetition's end; ``maiv_gap`` is the relative change from the
+    previous repetition (the quantity MAIV bounds).  The first
+    repetition has no predecessor and reports a gap of 1.0
+    (unconverged by definition).
+    """
+
+    thread_id: int
+    repetition: int
+    end_cycle: int
+    accumulated_ipc: float
+    maiv_gap: float
+
+
+@dataclass(frozen=True)
+class PmuReport:
+    """Frozen outcome of one instrumented measurement."""
+
+    cycles: int
+    priorities: tuple[int, int]
+    workloads: tuple[str | None, str | None]
+    counters: tuple  # ((event name, (t0, t1)), ...) in registry order
+    samples: tuple[Sample, ...] = ()
+    fame_samples: tuple[FameSample, ...] = ()
+    rep_spans: tuple[tuple, tuple] = ((), ())  # per thread: ((start, end), ...)
+    sample_period: int = 0
+
+    def bank(self) -> CounterBank:
+        """The counter bank this report snapshot was taken from."""
+        return CounterBank.from_tuple(self.cycles, self.priorities,
+                                      self.counters)
+
+    def thread_counters(self, thread_id: int) -> tuple:
+        """((event name, value), ...) for one thread."""
+        return tuple((name, values[thread_id])
+                     for name, values in self.counters)
+
+    def counter(self, name: str, thread_id: int) -> int:
+        """One event's value for one thread."""
+        for event, values in self.counters:
+            if event == name:
+                return values[thread_id]
+        raise KeyError(f"unknown PMU event {name!r}")
+
+    def cpi_stack(self, thread_id: int) -> CpiStack:
+        """Exact CPI-stack decomposition for one thread."""
+        return CpiStack.from_bank(self.bank(), thread_id)
+
+    def cpi_stacks(self) -> list[CpiStack]:
+        """Stacks for every loaded thread."""
+        return [self.cpi_stack(tid) for tid in (0, 1)
+                if self.workloads[tid] is not None]
+
+    def thread_samples(self, thread_id: int) -> list[Sample]:
+        """One thread's interval samples in time order."""
+        return [s for s in self.samples if s.thread_id == thread_id]
+
+
+@dataclass
+class Pmu:
+    """Live instrumentation handle for one measurement.
+
+    ``sample_period`` of None (or 0) disables interval sampling; the
+    counter bank is captured regardless.  Usage::
+
+        pmu = Pmu(sample_period=4096)
+        runner.run_pair(primary, secondary, priorities=(6, 2), pmu=pmu)
+        report = pmu.report()
+        print(report.cpi_stack(0).fractions())
+    """
+
+    sample_period: int | None = None
+    _sampler: IntervalSampler | None = field(default=None, repr=False)
+    _bank: CounterBank | None = field(default=None, repr=False)
+    _workloads: tuple = (None, None)
+    _rep_spans: tuple = ((), ())
+    _fame: list = field(default_factory=list, repr=False)
+
+    def attach(self, core) -> None:
+        """Instrument ``core`` (call after :meth:`SMTCore.load`)."""
+        if self.sample_period:
+            self._sampler = IntervalSampler(self.sample_period)
+            self._sampler.attach(core)
+
+    def finish(self, core) -> None:
+        """Capture final counters and repetition spans from ``core``."""
+        self._bank = CounterBank.capture(core)
+        workloads: list = [None, None]
+        spans: list = [(), ()]
+        for tid in (0, 1):
+            th = core._threads[tid]
+            if th is None:
+                continue
+            workloads[tid] = th.source.name
+            spans[tid] = tuple(
+                zip(th.rep_start_times, th.rep_end_times))
+        self._workloads = (workloads[0], workloads[1])
+        self._rep_spans = (spans[0], spans[1])
+
+    def emit_fame(self, thread_id: int, repetition: int, end_cycle: int,
+                  accumulated_ipc: float, maiv_gap: float) -> None:
+        """Record one FAME convergence telemetry point."""
+        self._fame.append(FameSample(
+            thread_id=thread_id, repetition=repetition,
+            end_cycle=end_cycle, accumulated_ipc=accumulated_ipc,
+            maiv_gap=maiv_gap))
+
+    @property
+    def counters(self) -> CounterBank:
+        """The captured counter bank (after :meth:`finish`)."""
+        if self._bank is None:
+            raise RuntimeError("Pmu.finish() has not run yet")
+        return self._bank
+
+    @property
+    def samples(self) -> list[Sample]:
+        """Interval samples recorded so far."""
+        return self._sampler.samples if self._sampler else []
+
+    def report(self) -> PmuReport:
+        """Freeze everything into an immutable :class:`PmuReport`."""
+        bank = self.counters
+        return PmuReport(
+            cycles=bank.cycles,
+            priorities=bank.priorities,
+            workloads=self._workloads,
+            counters=bank.as_tuple(),
+            samples=tuple(self.samples),
+            fame_samples=tuple(self._fame),
+            rep_spans=self._rep_spans,
+            sample_period=self.sample_period or 0)

@@ -1,0 +1,366 @@
+"""The emulated PMU: registry, counter bank, CPI stacks, sampling,
+export and the FAME/experiment integration.
+
+The exactness guarantees (bank equality between engines, serial vs
+parallel sweeps) live in ``tests/test_pmu_differential.py``; this
+module covers the subsystem's *internal* invariants -- above all that
+every CPI stack is an exact partition of cycles, in every priority
+mode.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+
+from repro.config import POWER5
+from repro.core import SMTCore
+from repro.fame import FameRunner
+from repro.microbench import make_microbenchmark
+from repro.pmu import (
+    COMPONENTS,
+    EVENT_INDEX,
+    EVENT_NAMES,
+    EVENTS,
+    CounterBank,
+    CpiStack,
+    IntervalSampler,
+    Pmu,
+    chrome_trace,
+    event,
+    report_records,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+SECONDARY_BASE = (1 << 27) + 8192
+
+
+def _run_core(priorities=(4, 4), secondary="ldint_mem", cap=120_000,
+              sampler=None, config=None):
+    config = config or POWER5.small()
+    core = SMTCore(config)
+    sources = [make_microbenchmark("cpu_int", config)]
+    if secondary is not None:
+        sources.append(make_microbenchmark(secondary, config,
+                                           base_address=SECONDARY_BASE))
+    else:
+        sources.append(None)
+    core.load(sources, priorities=priorities)
+    if sampler is not None:
+        sampler.attach(core)
+    while not core.all_finished() and core.cycle < cap:
+        core.step(4096)
+    core.drain()
+    return core
+
+
+# ----------------------------------------------------------------------
+# Event registry
+# ----------------------------------------------------------------------
+
+
+def test_registry_is_consistent():
+    assert len(EVENTS) == len(EVENT_NAMES) == len(EVENT_INDEX)
+    assert len(set(EVENT_NAMES)) == len(EVENT_NAMES)  # unique names
+    for name in EVENT_NAMES:
+        assert name.startswith("PM_")
+        assert event(name).name == name
+        assert EVENTS[EVENT_INDEX[name]].name == name
+    for e in EVENTS:
+        assert e.description  # every event is documented
+
+
+def test_registry_rejects_unknown_event():
+    with pytest.raises(KeyError):
+        event("PM_NO_SUCH_EVENT")
+
+
+# ----------------------------------------------------------------------
+# Counter bank
+# ----------------------------------------------------------------------
+
+
+def test_capture_covers_every_event_and_matches_core():
+    core = _run_core()
+    bank = CounterBank.capture(core)
+    assert set(EVENT_NAMES) == {name for name, _ in bank.as_tuple()}
+    for tid in (0, 1):
+        th = core._threads[tid]
+        assert bank.value("PM_INST_CMPL", tid) == th.retired
+        assert bank.value("PM_SLOT_GRANT", tid) == th.owned_slots
+        assert bank.value("PM_BR_MPRED", tid) == th.mispredicts
+    assert bank["PM_CYC"] == (core.cycle, core.cycle)
+
+
+@pytest.mark.parametrize("priorities", [(4, 4), (6, 1), (1, 6), (7, 3)])
+def test_slot_identity(priorities):
+    """owned == decode + all lost causes; wasted == its four causes."""
+    bank = CounterBank.capture(_run_core(priorities))
+    for tid in (0, 1):
+        v = lambda name: bank.value(name, tid)  # noqa: E731
+        assert v("PM_SLOT_GRANT") == (v("PM_SLOT_DECODE")
+                                      + v("PM_SLOT_WASTED")
+                                      + v("PM_SLOT_LOST_GCT"))
+        assert v("PM_SLOT_WASTED") == (v("PM_SLOT_LOST_STALL")
+                                       + v("PM_SLOT_LOST_BAL")
+                                       + v("PM_SLOT_LOST_THROTTLE")
+                                       + v("PM_SLOT_LOST_OTHER"))
+
+
+def test_bank_tuple_round_trip_and_equality():
+    core = _run_core()
+    bank = CounterBank.capture(core)
+    clone = CounterBank.from_tuple(bank.cycles, bank.priorities,
+                                   bank.as_tuple())
+    assert clone == bank
+    assert hash(clone) == hash(bank)
+    rows = bank.rows()
+    assert len(rows) == len(EVENTS)
+    assert {r[0] for r in rows} == set(EVENT_NAMES)
+
+
+# ----------------------------------------------------------------------
+# CPI stacks: exact partition of cycles in every priority mode
+# ----------------------------------------------------------------------
+
+#: Normal arbitration, strongly skewed pairs, the low-power mode
+#: (both priorities 1) and a boosted pair -- the modes in which the
+#: slot accounting takes different code paths.
+STACK_PRIORITIES = [(4, 4), (6, 1), (1, 6), (1, 1), (7, 3), (5, 2)]
+
+
+@pytest.mark.parametrize("priorities", STACK_PRIORITIES)
+@pytest.mark.parametrize("secondary", ["ldint_mem", "cpu_fp"])
+def test_cpi_stack_partitions_cycles(priorities, secondary):
+    core = _run_core(priorities, secondary=secondary)
+    bank = CounterBank.capture(core)
+    for tid in (0, 1):
+        stack = CpiStack.from_bank(bank, tid)
+        assert stack.total == core.cycle, (priorities, secondary, tid)
+        assert all(v >= 0 for _, v in stack.components)
+        assert tuple(k for k, _ in stack.components) == COMPONENTS
+        assert abs(sum(stack.fractions().values()) - 1.0) < 1e-12
+
+
+def test_cpi_stack_single_thread_mode():
+    """In ST mode the sibling's slots count as the primary's no-slot=0."""
+    core = _run_core(priorities=(4, 0), secondary=None)
+    stack = CpiStack.from_bank(CounterBank.capture(core), 0)
+    assert stack.total == core.cycle
+    # ST mode: the lone thread owns every decode slot.
+    assert stack.component("no_slot") == 0
+
+
+def test_cpi_stack_from_thread_result_matches_bank():
+    core = _run_core(priorities=(6, 2))
+    bank = CounterBank.capture(core)
+    result = core.result(warmup=0)
+    for tr in result.threads:
+        via_result = CpiStack.from_thread_result(tr)
+        via_bank = CpiStack.from_bank(bank, tr.thread_id)
+        assert via_result.components == via_bank.components
+        assert via_result.cycles == via_bank.cycles
+        assert via_result.total == core.cycle
+
+
+def test_cpi_stack_accessors():
+    core = _run_core()
+    stack = CpiStack.from_bank(CounterBank.capture(core), 0)
+    assert stack.component("decode") >= 0
+    with pytest.raises(KeyError):
+        stack.component("nonesuch")
+    assert stack.cpi > 0
+    per = stack.component_cpi()
+    assert abs(sum(per.values()) - stack.cpi) < 1e-9
+
+
+# ----------------------------------------------------------------------
+# Interval sampling
+# ----------------------------------------------------------------------
+
+
+def test_sampler_is_non_intrusive():
+    """A sampled run retires identically to an unsampled one."""
+    plain = _run_core(priorities=(6, 2))
+    sampler = IntervalSampler(2048)
+    sampled = _run_core(priorities=(6, 2), sampler=sampler)
+    assert plain.result(warmup=0) == sampled.result(warmup=0)
+    assert len(sampler) > 0
+
+
+def test_sampler_deltas_telescope_to_totals():
+    """Interval deltas sum to the final counter values."""
+    period = 1024
+    sampler = IntervalSampler(period)
+    core = _run_core(priorities=(4, 4), sampler=sampler)
+    for tid in (0, 1):
+        series = sampler.series(tid)
+        assert series, "expected samples for a loaded thread"
+        cycles = [s.cycle for s in series]
+        assert cycles == sorted(cycles)
+        assert all(c % period == 0 for c in cycles)
+        th = core._threads[tid]
+        # Deltas up to the last sample plus the tail equal the totals.
+        assert sum(s.retired for s in series) <= th.retired
+        assert sum(s.owned_slots for s in series) <= th.owned_slots
+        for s in series:
+            assert s.ipc == s.retired / period
+            assert s.slot_share == s.owned_slots / period
+            assert 0.0 <= s.l2_miss_rate <= 1.0
+
+
+def test_sampler_rejects_bad_period():
+    with pytest.raises(ValueError):
+        IntervalSampler(0)
+
+
+# ----------------------------------------------------------------------
+# Pmu facade + FAME integration
+# ----------------------------------------------------------------------
+
+
+def _instrumented_fame(sample_period=4096):
+    config = POWER5.small()
+    runner = FameRunner(config, min_repetitions=2, max_cycles=250_000)
+    pmu = Pmu(sample_period=sample_period)
+    fame = runner.run_pair(
+        make_microbenchmark("cpu_int", config),
+        make_microbenchmark("ldint_mem", config,
+                            base_address=SECONDARY_BASE),
+        priorities=(6, 2), pmu=pmu)
+    return fame, pmu.report()
+
+
+def test_pmu_requires_finish_before_counters():
+    with pytest.raises(RuntimeError):
+        Pmu().counters  # noqa: B018
+
+
+def test_fame_runner_emits_convergence_telemetry():
+    fame, report = _instrumented_fame()
+    assert report.priorities == (6, 2)
+    assert report.workloads == ("cpu_int", "ldint_mem")
+    for tid in (0, 1):
+        points = [f for f in report.fame_samples if f.thread_id == tid]
+        assert len(points) == len(report.rep_spans[tid])
+        assert points[0].maiv_gap == 1.0  # first rep: unconverged
+        assert [p.repetition for p in points] == list(range(len(points)))
+        ends = [p.end_cycle for p in points]
+        assert ends == sorted(ends)
+        for p in points:
+            assert p.accumulated_ipc > 0
+            assert p.maiv_gap == p.maiv_gap  # never NaN
+    # Repetition spans nest inside the measurement.
+    for tid in (0, 1):
+        for start, end in report.rep_spans[tid]:
+            assert 0 <= start < end <= report.cycles
+
+
+def test_report_is_picklable_and_value_equal():
+    _, report = _instrumented_fame()
+    clone = pickle.loads(pickle.dumps(report))
+    assert clone == report
+    assert clone.bank() == report.bank()
+    assert clone.cpi_stack(0) == report.cpi_stack(0)
+
+
+def test_report_accessors():
+    _, report = _instrumented_fame()
+    assert report.counter("PM_CYC", 0) == report.cycles
+    with pytest.raises(KeyError):
+        report.counter("PM_NO_SUCH", 0)
+    stacks = report.cpi_stacks()
+    assert [s.thread_id for s in stacks] == [0, 1]
+    for s in stacks:
+        assert s.total == report.cycles
+    samples0 = report.thread_samples(0)
+    assert all(s.thread_id == 0 for s in samples0)
+    assert report.sample_period == 4096
+
+
+# ----------------------------------------------------------------------
+# Export: JSONL + Chrome trace
+# ----------------------------------------------------------------------
+
+
+def test_jsonl_export_round_trips(tmp_path):
+    _, report = _instrumented_fame()
+    records = report_records(report, label="unit")
+    kinds = {r["type"] for r in records}
+    assert kinds == {"counters", "sample", "fame"}
+    path = tmp_path / "pmu.jsonl"
+    assert write_jsonl(path, records) == len(records)
+    back = [json.loads(line) for line in path.read_text().splitlines()]
+    assert back == sorted_records(records)
+
+
+def sorted_records(records):
+    """write_jsonl serialises with sort_keys; normalise for comparison."""
+    return [json.loads(json.dumps(r, sort_keys=True)) for r in records]
+
+
+def test_chrome_trace_is_well_formed(tmp_path):
+    _, report = _instrumented_fame()
+    doc = chrome_trace([("unit", report)])
+    events = doc["traceEvents"]
+    assert events, "trace must not be empty"
+    for e in events:
+        assert {"name", "ph", "ts", "pid", "tid"} <= set(e)
+        assert e["ph"] in ("M", "X", "C")
+        if e["ph"] == "X":
+            assert e["dur"] >= 1
+    phases = {e["ph"] for e in events}
+    assert phases == {"M", "X", "C"}
+    path = tmp_path / "trace.json"
+    count = write_chrome_trace(path, [("unit", report)])
+    assert count == len(events)
+    assert json.loads(path.read_text())["traceEvents"] == events
+
+
+# ----------------------------------------------------------------------
+# Experiment-context integration
+# ----------------------------------------------------------------------
+
+
+def test_context_attaches_reports_when_enabled():
+    from repro.experiments.base import ExperimentContext, priority_pair
+    ctx = ExperimentContext(min_repetitions=2, max_cycles=300_000,
+                            pmu=True, pmu_sample=2048)
+    pm = ctx.pair("cpu_int", "ldint_l1", priority_pair(2))
+    assert pm.pmu is not None
+    assert pm.pmu.sample_period == 2048
+    assert pm.pmu.cpi_stack(0).total == pm.pmu.cycles
+    st = ctx.single("cpu_int")
+    assert st.pmu is not None
+    assert st.pmu.workloads[1] is None
+    labels = dict(ctx.pmu_reports())
+    assert "cpu_int+ldint_l1 prio 6v4" in labels
+    assert "single cpu_int" in labels
+
+
+def test_context_default_is_uninstrumented():
+    from repro.experiments.base import ExperimentContext
+    ctx = ExperimentContext(min_repetitions=2, max_cycles=300_000)
+    assert ctx.single("cpu_int").pmu is None
+    assert ctx.pmu_reports() == []
+
+
+def test_report_rendering_helpers():
+    from repro.experiments.report import (
+        pmu_summary_columns,
+        render_counters,
+        render_cpi_stacks,
+    )
+    _, report = _instrumented_fame()
+    table = render_cpi_stacks(
+        [("unit", stack) for stack in report.cpi_stacks()])
+    assert "no_slot%" in table and "unit" in table
+    dump = render_counters(report)
+    for name in ("PM_CYC", "PM_INST_CMPL", "PM_SLOT_GRANT"):
+        assert name in dump
+    cols = pmu_summary_columns(report, 1)
+    assert set(cols) == {"decode%", "top stall", "mem ld"}
+    assert cols["mem ld"] == report.counter("PM_LD_MEM", 1)
