@@ -1,0 +1,49 @@
+"""Bench: the closed-loop governor vs the best static assignment.
+
+Beyond the paper: its characterization is entirely static -- every
+priority pair measured offline.  The governor experiment runs the
+online policies against that exhaustive sweep and this bench asserts
+the headline claims at full scale:
+
+- ``ipc_balance`` and ``throughput_max`` each match (within the
+  experiment's tolerance) the best static assignment under their own
+  objective on at least one pair -- without sweeping the ladder;
+- ``transparent`` keeps the foreground's slowdown under its budget on
+  the compute-foreground pairs (the ``ldint_l2`` foreground suffers
+  cache interference no priority assignment can remove, so there the
+  policy's contract is holding the background at the floor, asserted
+  in the tier-1 tests instead);
+- the pipeline policy converges to the hand-tuned FFT/LU optimum.
+"""
+
+from repro.experiments import run_governor
+from repro.governor import GovernorConfig
+
+
+def test_bench_governor(benchmark, ctx, save_report):
+    report = benchmark.pedantic(lambda: run_governor(ctx),
+                                rounds=1, iterations=1)
+    save_report(report)
+    claims = report.data["claims"]
+
+    # The adaptive policies recover a hand-tuned optimum online.
+    assert claims["ipc_balance_matches_best_static_min"]
+    assert claims["throughput_max_matches_best_static_total"]
+
+    # Transparent execution: foreground slowdown under budget wherever
+    # the budget is attainable (compute foregrounds).
+    budget = GovernorConfig().budget
+    slow = dict(claims["transparent_fg_slowdowns"])
+    assert slow["cpu_int+ldint_mem"] <= budget
+    assert slow["cpu_int+cpu_fp"] <= budget
+
+    # The pipeline policy matches Table 4's best hand-tuned static.
+    assert claims["pipeline_matches_best_static"]
+    gov = report.data["pipeline"]["governed"]
+    assert gov["changes"] > 0
+
+    # Every governed run actually closed the loop: epochs elapsed and
+    # the decision trail is recorded for all pairs and policies.
+    for pd in report.data["pairs"].values():
+        for stats in pd["policies"].values():
+            assert stats["epochs"] > 0

@@ -17,6 +17,12 @@ When the committed baseline file was produced on a comparable host
 asserts the PMU-off engine has not regressed by more than 10% against
 it -- the PMU's raw counters ride in the hot loop unconditionally, so
 this is the guard that keeps them cheap.
+
+The closed-loop governor gets the same treatment under ``"governor"``:
+a governor-off vs governor-on (ipc_balance at the default epoch)
+comparison, plus a governor-off gate against the committed baseline so
+that runs which never attach a governor stay exactly as fast as before
+the subsystem existed.
 """
 
 from __future__ import annotations
@@ -96,6 +102,44 @@ def _measure_pmu_overhead(config, repeats=3):
     }
 
 
+def _measure_governor_overhead(config, repeats=3):
+    """Governor-off vs governor-on wall clock for one SMT scenario.
+
+    Governor-on attaches an :class:`repro.governor.IpcBalancePolicy`
+    at the default epoch -- PMU snapshot, policy decision and (when it
+    moves) sysfs actuation every epoch.  Governor-off is the exact
+    path every ungoverned run takes; the regression gate below holds
+    it to the committed baseline, so closing the loop stays free for
+    everyone not using it.
+    """
+    from repro.governor import Governor, GovernorConfig, IpcBalancePolicy
+
+    def run(with_governor: bool) -> float:
+        runner = FameRunner(config, min_repetitions=3,
+                            max_cycles=1_500_000)
+        primary = make_microbenchmark("cpu_int", config)
+        secondary = make_microbenchmark("ldint_l2", config,
+                                        base_address=SECONDARY_BASE)
+        governor = None
+        if with_governor:
+            cfg = GovernorConfig()
+            governor = Governor(cfg, IpcBalancePolicy(cfg))
+        start = time.perf_counter()
+        runner.run_pair(primary, secondary, priorities=(4, 4),
+                        governor=governor)
+        return time.perf_counter() - start
+
+    off = min(run(False) for _ in range(repeats))
+    on = min(run(True) for _ in range(repeats))
+    return {
+        "scenario": "smt_4_4_cpu_int_ldint_l2",
+        "policy": "ipc_balance",
+        "wall_off_s": round(off, 4),
+        "wall_on_s": round(on, 4),
+        "overhead_on_vs_off": round(on / off, 3) if off else None,
+    }
+
+
 def _load_baseline(path):
     """The committed BENCH_simcore.json, if present and parseable."""
     try:
@@ -157,6 +201,7 @@ def test_bench_perf_writes_simcore_json():
     }
 
     pmu_overhead = _measure_pmu_overhead(fast_cfg)
+    governor_overhead = _measure_governor_overhead(fast_cfg)
 
     payload = {
         "config_fingerprint": fast_cfg.fingerprint(),
@@ -166,11 +211,13 @@ def test_bench_perf_writes_simcore_json():
         "scenarios": scenarios,
         "suite": suite,
         "pmu": pmu_overhead,
+        "governor": governor_overhead,
     }
     out = ROOT / "BENCH_simcore.json"
     prior = _load_baseline(out)
     gate = _comparable(prior, payload)
     payload["pmu"]["baseline_gate_ran"] = gate
+    payload["governor"]["baseline_gate_ran"] = gate
     out.write_text(json.dumps(payload, indent=2) + "\n")
 
     # Sanity floor, deliberately loose: on a single, possibly noisy
@@ -195,4 +242,19 @@ def test_bench_perf_writes_simcore_json():
         measured = pmu_overhead["wall_off_s"]
         assert measured <= base_off * 1.10 + 0.05, (
             f"PMU-off run regressed: {measured:.4f}s vs baseline "
+            f"{base_off:.4f}s (+10% budget)")
+
+    # Governor-off regression gate, same shape: an ungoverned run
+    # must not pay for the governor subsystem's existence.  The hook
+    # list is empty and the sysfs interface untouched, so this should
+    # be literally the pre-governor code path.
+    if gate:
+        base_off = prior.get("governor", {}).get("wall_off_s")
+        if base_off is None:  # first baseline with a governor section
+            base_off = prior.get("pmu", {}).get("wall_off_s") or (
+                prior["scenarios"]["smt_4_4_cpu_int_ldint_l2"]
+                ["fast_forward"]["wall_s"])
+        measured = governor_overhead["wall_off_s"]
+        assert measured <= base_off * 1.10 + 0.05, (
+            f"governor-off run regressed: {measured:.4f}s vs baseline "
             f"{base_off:.4f}s (+10% budget)")

@@ -18,6 +18,8 @@ The package builds, from scratch, every system the paper depends on:
 - :mod:`repro.fame` -- the FAME measurement methodology;
 - :mod:`repro.workloads` -- SPEC-like case-study workloads and the
   FFT -> LU software pipeline;
+- :mod:`repro.governor` -- a closed-loop runtime that samples the PMU
+  each epoch and retunes priorities online (pluggable policies);
 - :mod:`repro.experiments` -- one harness per table/figure of the paper.
 
 Quickstart::

@@ -8,6 +8,8 @@ Usage::
     power5-repro all --jobs 4
     power5-repro figure2 --pmu --pmu-sample 4096
     power5-repro pmu --primary cpu_int --secondary ldint_mem --diff 4
+    power5-repro governor --jobs 4
+    power5-repro table3 --governor ipc_balance --governor-epoch 500
     python -m repro figure5 --json results.json
 """
 
@@ -55,6 +57,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--json", metavar="PATH",
         help="also dump experiment data as JSON to PATH")
+    gov = parser.add_argument_group("governor (closed-loop priorities)")
+    gov.add_argument(
+        "--governor", metavar="POLICY", default=None,
+        help="run every pair measurement under this closed-loop "
+             "policy instead of static priorities (see "
+             "repro.governor.POLICIES: static, ipc_balance, "
+             "throughput_max, transparent, pipeline)")
+    gov.add_argument(
+        "--governor-epoch", type=int, default=0, metavar="N",
+        help="governor sampling epoch in cycles "
+             "(0 = GovernorConfig default)")
     pmu = parser.add_argument_group("PMU / observability")
     pmu.add_argument(
         "--pmu", action="store_true",
@@ -95,12 +108,20 @@ def main(argv: list[str] | None = None) -> int:
     config = POWER5.small() if args.preset == "small" else POWER5.default()
     if args.reference:
         config = dataclasses.replace(config, fast_forward=False)
+    if args.governor is not None:
+        from repro.governor import POLICIES
+        if args.governor not in POLICIES:
+            print(f"unknown governor policy {args.governor!r}; "
+                  f"available: {', '.join(POLICIES)}", file=sys.stderr)
+            return 2
     ctx = ExperimentContext(config=config,
                             min_repetitions=args.min_reps,
                             max_cycles=args.max_cycles,
                             jobs=args.jobs,
                             pmu=args.pmu or args.experiment == "pmu",
-                            pmu_sample=args.pmu_sample)
+                            pmu_sample=args.pmu_sample,
+                            governor=args.governor,
+                            governor_epoch=args.governor_epoch)
     if args.experiment == "pmu":
         return _run_pmu(args, ctx)
     if args.experiment == "all":

@@ -5,7 +5,10 @@ from repro.experiments.base import (
     ExperimentContext,
     PairMetrics,
     ThreadMetrics,
+    governed_cell,
+    pair_cell,
     priority_pair,
+    single_cell,
 )
 from repro.experiments.figure1 import run_figure1
 from repro.experiments.figure2 import run_figure2
@@ -13,11 +16,16 @@ from repro.experiments.figure3 import run_figure3
 from repro.experiments.figure4 import run_figure4
 from repro.experiments.figure5 import run_figure5
 from repro.experiments.figure6 import run_figure6
+from repro.experiments.governor import run_governor
 from repro.experiments.modelcheck import run_modelcheck
 from repro.experiments.noise import run_noise
 from repro.experiments.registry import EXPERIMENTS, run_all, run_experiment
 from repro.experiments.sweep import PrioritySweep, SweepPoint, SweepResult
-from repro.experiments.report import ExperimentReport, render_table
+from repro.experiments.report import (
+    ExperimentReport,
+    render_decision_log,
+    render_table,
+)
 from repro.experiments.table1 import run_table1
 from repro.experiments.table3 import PAPER_TABLE3, run_table3
 from repro.experiments.table4 import run_table4
@@ -28,8 +36,12 @@ __all__ = [
     "PairMetrics",
     "priority_pair",
     "PRIORITY_PAIRS",
+    "single_cell",
+    "pair_cell",
+    "governed_cell",
     "ExperimentReport",
     "render_table",
+    "render_decision_log",
     "EXPERIMENTS",
     "run_experiment",
     "run_all",
@@ -45,6 +57,7 @@ __all__ = [
     "run_figure6",
     "run_noise",
     "run_modelcheck",
+    "run_governor",
     "PrioritySweep",
     "SweepResult",
     "SweepPoint",

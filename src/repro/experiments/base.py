@@ -65,6 +65,13 @@ class PairMetrics:
     #: :class:`repro.pmu.PmuReport` of the measurement, or None unless
     #: the context ran with ``pmu=True``.
     pmu: object = None
+    #: Set on governed measurements: the policy id, its per-epoch
+    #: :class:`repro.governor.GovernorDecision` log, and the priority
+    #: assignment in force at the end (``priorities`` above is the
+    #: *initial* assignment of a governed run).
+    policy: str = ""
+    decisions: tuple = ()
+    final_priorities: tuple[int, int] | None = None
 
     @property
     def total_ipc(self) -> float:
@@ -84,6 +91,20 @@ def pair_cell(primary: str, secondary: str,
               priorities: tuple[int, int]) -> tuple:
     """Cache key of a co-scheduled measurement cell."""
     return ("pair", primary, secondary, priorities)
+
+
+def governed_cell(primary: str, secondary: str,
+                  priorities: tuple[int, int], policy: str,
+                  params: dict | None = None) -> tuple:
+    """Cache key of a governor-driven measurement cell.
+
+    ``priorities`` is the initial assignment; ``policy`` a
+    :data:`repro.governor.POLICIES` id; ``params`` extra policy
+    constructor arguments (must be hashable values -- they are part of
+    the key and cross process boundaries in parallel sweeps).
+    """
+    frozen = tuple(sorted((params or {}).items()))
+    return ("governed", primary, secondary, priorities, policy, frozen)
 
 
 @dataclass
@@ -108,6 +129,12 @@ class ExperimentContext:
     pmu: bool = False
     #: Interval-sampling period in cycles (0 = counters only).
     pmu_sample: int = 0
+    #: Run every *pair* cell under this governor policy id (None =
+    #: static priorities, the default).  Dedicated ``governed`` cells
+    #: ignore this and always carry their own policy.
+    governor: str | None = None
+    #: Governor epoch in cycles (0 = the GovernorConfig default).
+    governor_epoch: int = 0
     _cache: dict = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
@@ -135,21 +162,32 @@ class ExperimentContext:
                                    pmu=_pmu_report(pmu))
         if kind == "pair":
             _, primary, secondary, priorities = key
-            fame = self.runner.run_pair(
-                self._workload(primary),
-                self._workload(secondary, SECONDARY_BASE),
-                priorities=priorities,
-                pmu=pmu)
-            return PairMetrics(
-                priorities=priorities,
-                primary=_thread_metrics(fame.thread(0), primary,
-                                        priorities[0]),
-                secondary=_thread_metrics(fame.thread(1), secondary,
-                                          priorities[1]),
-                cycles=fame.cycles,
-                capped=fame.capped,
-                pmu=_pmu_report(pmu))
-        raise ValueError(f"unknown cell kind in key: {key!r}")
+            governor = (self._make_governor(self.governor)
+                        if self.governor else None)
+        elif kind == "governed":
+            _, primary, secondary, priorities, policy, params = key
+            governor = self._make_governor(policy, dict(params))
+        else:
+            raise ValueError(f"unknown cell kind in key: {key!r}")
+        fame = self.runner.run_pair(
+            self._workload(primary),
+            self._workload(secondary, SECONDARY_BASE),
+            priorities=priorities,
+            pmu=pmu,
+            governor=governor)
+        return PairMetrics(
+            priorities=priorities,
+            primary=_thread_metrics(fame.thread(0), primary,
+                                    priorities[0]),
+            secondary=_thread_metrics(fame.thread(1), secondary,
+                                      priorities[1]),
+            cycles=fame.cycles,
+            capped=fame.capped,
+            pmu=_pmu_report(pmu),
+            policy=governor.policy.name if governor else "",
+            decisions=governor.decision_log() if governor else (),
+            final_priorities=(governor.final_priorities
+                              if governor else None))
 
     def _make_pmu(self):
         """A fresh PMU handle per measurement, or None when disabled."""
@@ -157,6 +195,19 @@ class ExperimentContext:
             return None
         from repro.pmu import Pmu
         return Pmu(sample_period=self.pmu_sample or None)
+
+    def _make_governor(self, policy: str, params: dict | None = None):
+        """A fresh governor (one per measurement) running ``policy``."""
+        from repro.governor import Governor, GovernorConfig, make_policy
+        kwargs = {}
+        if self.governor_epoch:
+            kwargs["epoch"] = self.governor_epoch
+        params = dict(params or {})
+        # Policy params prefixed "cfg_" target the GovernorConfig.
+        for key in [k for k in params if k.startswith("cfg_")]:
+            kwargs[key[4:]] = params.pop(key)
+        config = GovernorConfig(**kwargs)
+        return Governor(config, make_policy(policy, config, **params))
 
     def prefetch(self, cells) -> int:
         """Ensure every cell in ``cells`` is measured; returns #computed.
@@ -178,6 +229,12 @@ class ExperimentContext:
             for key, value in compute_cells(self, todo):
                 self._cache[key] = value
         return len(todo)
+
+    def cell(self, key: tuple):
+        """The metrics of an arbitrary cell key (memoised)."""
+        if key not in self._cache:
+            self._cache[key] = self.compute_cell(key)
+        return self._cache[key]
 
     def single(self, name: str) -> ThreadMetrics:
         """Single-thread-mode measurement (memoised)."""
@@ -216,6 +273,10 @@ class ExperimentContext:
                 continue
             if key[0] == "single":
                 label = f"single {key[1]}"
+            elif key[0] == "governed":
+                _, primary, secondary, (prio_p, prio_s), policy, _ = key
+                label = (f"{primary}+{secondary} governed {policy} "
+                         f"from {prio_p}v{prio_s}")
             else:
                 _, primary, secondary, (prio_p, prio_s) = key
                 label = f"{primary}+{secondary} prio {prio_p}v{prio_s}"

@@ -1,0 +1,286 @@
+"""The ``governor`` experiment: closed-loop policies vs best static.
+
+The paper characterizes every *static* priority assignment and leaves
+"software that exploits them dynamically" as motivation.  This
+experiment closes that loop and quantifies it: for a set of
+co-schedule pairs it measures
+
+- every static assignment of the paper's priority ladder (the
+  exhaustive hand-tuning a static approach needs), and
+- one governed run per policy, starting from the default (4,4) and
+  letting the policy retune online,
+
+then compares each policy against the *best* static assignment under
+that policy's own objective (total IPC for throughput-max, min-thread
+IPC for IPC-balance, foreground slowdown vs budget for transparent).
+The FFT->LU software pipeline of Table 4 gets the same treatment: all
+four hand-tuned assignments vs :class:`repro.governor.PipelinePolicy`
+finding the balance itself.
+
+A governor needs none of the static sweep's 11 measurements per pair
+-- it discovers its operating point inside one run -- so "governed
+matches best static" means the online controller recovered the
+hand-tuned optimum at an 11x measurement discount, and "beats" means
+time-multiplexing priorities found an operating point the static
+ladder cannot express.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import (
+    PRIORITY_PAIRS,
+    ExperimentContext,
+    governed_cell,
+    pair_cell,
+    single_cell,
+)
+from repro.experiments.report import (
+    ExperimentReport,
+    render_decision_log,
+    render_table,
+)
+from repro.workloads.pipeline import SoftwarePipeline
+
+#: The co-schedule pairs the governor is evaluated on: a compute
+#: thread against the paper's worst-case memory thread, two compute
+#: threads of different IPC, and a cache-resident load thread against
+#: the memory thread.
+GOVERNOR_PAIRS = (
+    ("cpu_int", "ldint_mem"),
+    ("cpu_int", "cpu_fp"),
+    ("ldint_l2", "ldint_mem"),
+)
+
+#: Policies run on every pair (the pipeline policy runs on the
+#: pipeline workload instead).
+PAIR_POLICIES = ("static", "ipc_balance", "throughput_max",
+                 "transparent")
+
+#: Initial assignment of every governed run: the machine default.
+INITIAL = (4, 4)
+
+#: Static assignments swept for the baseline (the paper's ladder).
+STATIC_LADDER = tuple(dict.fromkeys(PRIORITY_PAIRS.values()))
+
+#: Pipeline static assignments (Table 4's hand-tuned set).
+PIPELINE_LADDER = ((4, 4), (5, 4), (6, 4), (6, 3))
+
+#: Relative tolerance for "matches best static": measurement windows
+#: of governed and static runs differ (FAME repetition boundaries
+#: shift with every priority change), so exact equality is not the
+#: right bar.
+MATCH_TOL = 0.02
+
+
+def _min_ipc(pm) -> float:
+    return min(pm.primary.ipc, pm.secondary.ipc)
+
+
+def run_governor(ctx: ExperimentContext | None = None,
+                 pairs: tuple = GOVERNOR_PAIRS,
+                 policies: tuple = PAIR_POLICIES,
+                 pipeline_iterations: int = 10) -> ExperimentReport:
+    """Run all policies on the pair matrix and the FFT/LU pipeline."""
+    ctx = ctx or ExperimentContext()
+
+    # Single-thread references first (the transparent policy's budget
+    # is defined against the foreground's unimpeded performance).
+    names = sorted({name for pair in pairs for name in pair})
+    ctx.prefetch([single_cell(name) for name in names])
+
+    # One prefetch for everything else: static ladder + governed runs,
+    # parallelizable across worker processes like any other sweep.
+    cells = []
+    for primary, secondary in pairs:
+        cells += [pair_cell(primary, secondary, prio)
+                  for prio in STATIC_LADDER]
+        for policy in policies:
+            cells.append(governed_cell(
+                primary, secondary, INITIAL, policy,
+                _policy_params(ctx, policy, primary)))
+    ctx.prefetch(cells)
+
+    sections = []
+    data: dict = {"pairs": {}, "claims": {}}
+    sample_log = None
+    for primary, secondary in pairs:
+        label = f"{primary}+{secondary}"
+        st_fg = ctx.single(primary)
+        statics = {prio: ctx.pair(primary, secondary, prio)
+                   for prio in STATIC_LADDER}
+        best_total = max(statics, key=lambda p: statics[p].total_ipc)
+        best_min = max(statics, key=lambda p: _min_ipc(statics[p]))
+        pair_data: dict = {
+            "best_static_total": {
+                "priorities": best_total,
+                "total_ipc": statics[best_total].total_ipc},
+            "best_static_min": {
+                "priorities": best_min,
+                "min_ipc": _min_ipc(statics[best_min])},
+            "policies": {},
+        }
+        rows = [(f"best static (tt): {best_total}", "-",
+                 statics[best_total].total_ipc,
+                 _min_ipc(statics[best_total]), "-", 0),
+                (f"best static (min): {best_min}", "-",
+                 statics[best_min].total_ipc,
+                 _min_ipc(statics[best_min]), "-", 0)]
+        for policy in policies:
+            pm = ctx.cell(governed_cell(
+                primary, secondary, INITIAL, policy,
+                _policy_params(ctx, policy, primary)))
+            slowdown = (pm.primary.avg_rep_cycles
+                        / st_fg.avg_rep_cycles - 1.0)
+            pair_data["policies"][policy] = {
+                "total_ipc": pm.total_ipc,
+                "min_ipc": _min_ipc(pm),
+                "fg_slowdown": slowdown,
+                "final_priorities": pm.final_priorities,
+                "changes": sum(1 for d in pm.decisions if d.applied),
+                "epochs": len(pm.decisions),
+                "capped": pm.capped,
+            }
+            rows.append((policy,
+                         f"{INITIAL}->{pm.final_priorities}",
+                         pm.total_ipc, _min_ipc(pm),
+                         f"{100 * slowdown:+.1f}%",
+                         pair_data["policies"][policy]["changes"]))
+            if policy == "ipc_balance" and sample_log is None:
+                sample_log = (label, pm.decisions)
+        data["pairs"][label] = pair_data
+        sections.append(render_table(
+            ["policy", "priorities", "total IPC", "min IPC",
+             "fg vs ST", "changes"],
+            rows, title=f"-- {label} (governed from {INITIAL})"))
+
+    # The FFT->LU software pipeline: Table 4's ladder vs PipelinePolicy.
+    pipe_data = _run_pipeline(ctx, pipeline_iterations)
+    data["pipeline"] = pipe_data
+    rows = [(f"static {prio}", r["fft"], r["lu"], r["iteration"], "-")
+            for prio, r in zip(PIPELINE_LADDER, pipe_data["static"])]
+    gov = pipe_data["governed"]
+    rows.append((f"pipeline policy {INITIAL}->"
+                 f"{gov['final_priorities']}",
+                 gov["fft"], gov["lu"], gov["iteration"],
+                 f"{100 * (gov['iteration'] / pipe_data['best_static_iteration'] - 1):+.1f}%"))
+    sections.append(render_table(
+        ["run", "FFT (cyc)", "LU (cyc)", "iteration (cyc)",
+         "vs best static"],
+        rows, title="-- FFT/LU software pipeline"))
+
+    if sample_log is not None:
+        sections.append(render_decision_log(
+            sample_log[1],
+            title=f"decision log: ipc_balance on {sample_log[0]}"))
+
+    data["claims"] = _claims(data)
+    sections.append(_claims_text(data["claims"]))
+    return ExperimentReport(
+        experiment_id="governor",
+        title="Closed-loop priority governor vs best static assignment",
+        text="\n\n".join(sections),
+        data=data,
+        paper_reference="section 6 (dynamic use of priorities; "
+                        "extension beyond the paper's static "
+                        "characterization)")
+
+
+def _policy_params(ctx: ExperimentContext, policy: str,
+                   primary: str) -> dict:
+    """Extra constructor params for one policy on one pair."""
+    if policy == "transparent":
+        # The budget is defined against the foreground's single-thread
+        # IPC; rounding keeps the cache key stable across platforms.
+        return {"st_ipc": round(ctx.single(primary).ipc, 12)}
+    return {}
+
+
+def _run_pipeline(ctx: ExperimentContext, iterations: int) -> dict:
+    from repro.governor import Governor, GovernorConfig, PipelinePolicy
+    pipe = SoftwarePipeline(config=ctx.config)
+    max_cycles = ctx.max_cycles * 4
+    static = []
+    for prio in PIPELINE_LADDER:
+        run = pipe.run(priorities=prio, iterations=iterations,
+                       max_cycles=max_cycles)
+        static.append({"priorities": prio,
+                       "fft": run.producer_rep_cycles,
+                       "lu": run.consumer_rep_cycles,
+                       "iteration": run.iteration_cycles})
+    cfg = GovernorConfig(epoch=ctx.governor_epoch
+                         or GovernorConfig().epoch)
+    gov = Governor(cfg, PipelinePolicy(cfg))
+    # The governed run gets extra iterations with a matching warmup so
+    # its steady-state window sits after the policy's probe/convergence
+    # phase -- the static runs are in steady state from the start, so
+    # both measurements cover converged behaviour.
+    run = pipe.run(priorities=INITIAL, iterations=iterations + 16,
+                   warmup=iterations + 10,
+                   max_cycles=max_cycles, governor=gov)
+    best = min(s["iteration"] for s in static)
+    return {
+        "static": static,
+        "best_static_iteration": best,
+        "governed": {
+            "fft": run.producer_rep_cycles,
+            "lu": run.consumer_rep_cycles,
+            "iteration": run.iteration_cycles,
+            "final_priorities": run.final_priorities,
+            "changes": sum(1 for d in run.decisions if d.applied),
+        },
+    }
+
+
+def _claims(data: dict) -> dict:
+    """The testable comparisons the experiment asserts on.
+
+    Each claim names the workloads where a policy matched (within
+    :data:`MATCH_TOL`) or beat the best static assignment under its
+    own objective.
+    """
+    balance_ok, transparent_ok, throughput_ok = [], [], []
+    for label, pd in data["pairs"].items():
+        best_min = pd["best_static_min"]["min_ipc"]
+        best_total = pd["best_static_total"]["total_ipc"]
+        pol = pd["policies"]
+        if "ipc_balance" in pol and (
+                pol["ipc_balance"]["min_ipc"]
+                >= best_min * (1.0 - MATCH_TOL)):
+            balance_ok.append(label)
+        if "throughput_max" in pol and (
+                pol["throughput_max"]["total_ipc"]
+                >= best_total * (1.0 - MATCH_TOL)):
+            throughput_ok.append(label)
+        if "transparent" in pol:
+            transparent_ok.append(
+                (label, pol["transparent"]["fg_slowdown"]))
+    pipe = data["pipeline"]
+    pipeline_ok = (pipe["governed"]["iteration"]
+                   <= pipe["best_static_iteration"]
+                   * (1.0 + MATCH_TOL))
+    return {
+        "ipc_balance_matches_best_static_min": balance_ok,
+        "throughput_max_matches_best_static_total": throughput_ok,
+        "transparent_fg_slowdowns": transparent_ok,
+        "pipeline_matches_best_static": pipeline_ok,
+    }
+
+
+def _claims_text(claims: dict) -> str:
+    lines = ["-- governed vs best static (objective-matched, "
+             f"tolerance {100 * MATCH_TOL:.0f}%)"]
+    lines.append("  ipc_balance matches/beats best static min-IPC on: "
+                 + (", ".join(claims["ipc_balance_matches_best_static_min"])
+                    or "none"))
+    lines.append("  throughput_max matches/beats best static total-IPC "
+                 "on: "
+                 + (", ".join(
+                     claims["throughput_max_matches_best_static_total"])
+                    or "none"))
+    slow = ", ".join(f"{label} {100 * s:+.1f}%"
+                     for label, s in claims["transparent_fg_slowdowns"])
+    lines.append(f"  transparent foreground slowdown: {slow}")
+    lines.append("  pipeline policy matches best hand-tuned static: "
+                 + ("yes" if claims["pipeline_matches_best_static"]
+                    else "no"))
+    return "\n".join(lines)

@@ -44,12 +44,14 @@ def default_jobs() -> int:
 
 def _init_worker(config, min_repetitions: int, maiv: float,
                  max_cycles: int, pmu: bool = False,
-                 pmu_sample: int = 0) -> None:
+                 pmu_sample: int = 0, governor: str | None = None,
+                 governor_epoch: int = 0) -> None:
     from repro.experiments.base import ExperimentContext
     global _WORKER_CTX
     _WORKER_CTX = ExperimentContext(
         config=config, min_repetitions=min_repetitions, maiv=maiv,
-        max_cycles=max_cycles, pmu=pmu, pmu_sample=pmu_sample)
+        max_cycles=max_cycles, pmu=pmu, pmu_sample=pmu_sample,
+        governor=governor, governor_epoch=governor_epoch)
 
 
 def _run_cell(key: Cell):
@@ -69,5 +71,6 @@ def compute_cells(ctx, keys: Iterable[Cell]) -> Iterator[tuple[Cell, object]]:
             max_workers=jobs,
             initializer=_init_worker,
             initargs=(ctx.config, ctx.min_repetitions, ctx.maiv,
-                      ctx.max_cycles, ctx.pmu, ctx.pmu_sample)) as pool:
+                      ctx.max_cycles, ctx.pmu, ctx.pmu_sample,
+                      ctx.governor, ctx.governor_epoch)) as pool:
         yield from zip(keys, pool.map(_run_cell, keys))

@@ -11,6 +11,7 @@ from repro.experiments.figure3 import run_figure3
 from repro.experiments.figure4 import run_figure4
 from repro.experiments.figure5 import run_figure5
 from repro.experiments.figure6 import run_figure6
+from repro.experiments.governor import run_governor
 from repro.experiments.modelcheck import run_modelcheck
 from repro.experiments.noise import run_noise
 from repro.experiments.report import ExperimentReport
@@ -34,6 +35,7 @@ EXPERIMENTS: dict[str, Callable[[ExperimentContext | None],
     "figure6": run_figure6,
     "noise": run_noise,
     "modelcheck": run_modelcheck,
+    "governor": run_governor,
 }
 
 

@@ -69,6 +69,35 @@ def render_counters(report, title: str = "PMU counters") -> str:
     return render_table(headers, rows, title=title)
 
 
+def render_decision_log(decisions, title: str = "governor decisions",
+                        limit: int = 16, applied_only: bool = True
+                        ) -> str:
+    """The governor's per-epoch decision log as a table.
+
+    ``decisions`` is a sequence of
+    :class:`repro.governor.GovernorDecision`.  By default only epochs
+    that changed priorities are shown (the hold epochs between them
+    are summarized by the epoch column's gaps); ``limit`` bounds the
+    row count so long runs stay printable.
+    """
+    decisions = list(decisions)
+    changes = sum(1 for d in decisions if d.applied)
+    shown = [d for d in decisions if d.applied] if applied_only \
+        else decisions
+    clipped = len(shown) > limit
+    rows = [(d.epoch, d.cycle, f"{d.ipc[0]:.3f}/{d.ipc[1]:.3f}",
+             f"({d.before[0]},{d.before[1]})",
+             f"({d.after[0]},{d.after[1]})", d.reason)
+            for d in shown[:limit]]
+    text = render_table(
+        ["epoch", "cycle", "ipc t0/t1", "before", "after", "reason"],
+        rows, title=f"{title} ({len(decisions)} epochs, "
+                    f"{changes} changes)")
+    if clipped:
+        text += f"\n... {len(shown) - limit} more rows"
+    return text
+
+
 def pmu_summary_columns(report, thread_id: int) -> dict[str, object]:
     """The PMU columns experiment tables append per thread.
 

@@ -86,7 +86,7 @@ class FameRunner:
                      PrivilegeLevel.USER, PrivilegeLevel.USER),
                  rep_gate: RepGate | None = None,
                  core: SMTCore | None = None,
-                 pmu=None) -> FameResult:
+                 pmu=None, governor=None) -> FameResult:
         """Measure a (PThread, SThread) pair at fixed priorities.
 
         ``secondary=None`` measures the primary in single-thread mode.
@@ -95,12 +95,17 @@ class FameRunner:
         :class:`repro.pmu.Pmu` instruments the run: it is attached
         after :meth:`SMTCore.load` (which clears hooks), receives the
         per-repetition FAME convergence telemetry, and captures the
-        final counter bank.
+        final counter bank.  Passing a :class:`repro.governor.Governor`
+        closes the loop: ``priorities`` become the *initial* assignment
+        and the governor retunes it per epoch; its decision log rides
+        on the PMU report when both are given.
         """
         core = core or SMTCore(self.config)
         core.load([primary, secondary], priorities, privileges, rep_gate)
         if pmu is not None:
             pmu.attach(core)
+        if governor is not None:
+            governor.attach(core)
         active = [i for i in (0, 1)
                   if (primary, secondary)[i] is not None]
         # The simulation allocates no reference cycles, so the cyclic
@@ -122,6 +127,8 @@ class FameRunner:
             self._thread_converged(core, tid) for tid in active)
         if pmu is not None:
             self._emit_fame_telemetry(core, active, pmu)
+            if governor is not None:
+                pmu.set_decisions(governor.decision_log())
             pmu.finish(core)
         return FameResult(result=result, converged=converged, capped=capped)
 

@@ -1,0 +1,61 @@
+"""Configuration of the closed-loop priority governor.
+
+One frozen dataclass holds every knob shared by the governor and its
+policies; validation happens at construction so a bad value fails
+loudly before any simulation runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GovernorConfig:
+    """Knobs of the governor control loop.
+
+    ``epoch`` is the decision period in simulated cycles (the governor
+    registers a periodic core hook at this period).  ``hysteresis`` is
+    the relative dead-band every policy applies before reacting to an
+    observation -- it is what prevents priority oscillation on noisy
+    epoch IPCs.  ``cooldown`` is the number of epochs a policy holds
+    still after changing priorities, so each change is measured before
+    the next one.  ``min_priority``/``max_priority`` bound actuation to
+    the supervisor-settable range of the paper's kernel patch (1..6 --
+    levels 0 and 7 change the machine mode and are never chosen by a
+    governor).  ``budget`` is the foreground-slowdown budget of the
+    transparent policy and ``background_thread`` names the thread that
+    policy keeps transparent.
+    """
+
+    epoch: int = 500
+    hysteresis: float = 0.05
+    cooldown: int = 2
+    min_priority: int = 1
+    max_priority: int = 6
+    budget: float = 0.10
+    background_thread: int = 1
+
+    def __post_init__(self) -> None:
+        if self.epoch < 1:
+            raise ValueError(f"epoch must be >= 1 cycle: {self.epoch}")
+        if not 0.0 <= self.hysteresis < 1.0:
+            raise ValueError(
+                f"hysteresis must be in [0, 1): {self.hysteresis}")
+        if self.cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0: {self.cooldown}")
+        if not 1 <= self.min_priority <= self.max_priority <= 6:
+            raise ValueError(
+                "priority bounds must satisfy 1 <= min <= max <= 6 "
+                "(the patched kernel's supervisor range): "
+                f"[{self.min_priority}, {self.max_priority}]")
+        if not 0.0 < self.budget < 1.0:
+            raise ValueError(f"budget must be in (0, 1): {self.budget}")
+        if self.background_thread not in (0, 1):
+            raise ValueError(
+                f"background_thread must be 0 or 1: "
+                f"{self.background_thread}")
+
+    def clamp(self, priority: int) -> int:
+        """``priority`` clamped to the configured actuation bounds."""
+        return max(self.min_priority, min(self.max_priority, priority))

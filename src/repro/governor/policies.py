@@ -1,0 +1,385 @@
+"""The pluggable policy framework of the priority governor.
+
+A policy is a deterministic function from per-epoch PMU observations
+(:class:`repro.governor.EpochObservation`) to a target priority pair.
+The governor calls :meth:`Policy.decide` once per epoch and actuates
+whatever the policy returns through the patched kernel's ``/sys``
+interface; a policy that returns ``None`` holds the current
+assignment.
+
+Five policies ship:
+
+- :class:`StaticPolicy` -- the no-op baseline: whatever priorities the
+  run started with stay in force.  Governed runs under this policy are
+  the control group of every comparison.
+- :class:`IpcBalancePolicy` -- equalizes per-thread IPC: raises the
+  lagging thread (then lowers the leader once the bound is hit), one
+  step per decision, with hysteresis and cooldown against oscillation.
+- :class:`ThroughputMaxPolicy` -- hill-climbs total IPC over the
+  priority space: measures the current assignment, trials one
+  neighbouring assignment per probe, keeps it on improvement and
+  reverts with exponential backoff otherwise.
+- :class:`TransparentPolicy` -- keeps a designated background thread
+  running "for free" (paper section 5.5 / Figure 6, adaptively): the
+  background priority rises only while the measured foreground
+  slowdown stays well under the budget and drops immediately when the
+  budget is threatened.
+- :class:`PipelinePolicy` -- rebalances a software pipeline (paper
+  section 5.4 / Table 4, without hand-tuning): boosts the priority of
+  whichever stage's repetition time lags, converging toward the
+  hand-tuned best static assignment.
+
+Every policy is pure state-machine code over its observations -- no
+clocks, no randomness -- so governed runs stay bit-identical across
+simulation engines and worker processes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.governor.config import GovernorConfig
+
+#: A decision: (target priorities or None, human-readable reason).
+Decision = tuple[tuple[int, int] | None, str]
+
+
+class Policy:
+    """Base class: deterministic epoch observations -> priority pair."""
+
+    #: Registry id (set by subclasses).
+    name = "policy"
+
+    def __init__(self, config: GovernorConfig):
+        self.config = config
+
+    def reset(self) -> None:
+        """Forget all cross-epoch state (called at attach time)."""
+
+    def decide(self, obs) -> Decision:
+        """One decision for the epoch summarized by ``obs``."""
+        raise NotImplementedError
+
+
+class StaticPolicy(Policy):
+    """Baseline: never touch the priorities the run started with."""
+
+    name = "static"
+
+    def decide(self, obs) -> Decision:
+        return None, "static"
+
+
+class IpcBalancePolicy(Policy):
+    """Equalize the two threads' IPC, one priority step at a time.
+
+    The imbalance signal is the signed IPC gap normalised by total IPC
+    (``(ipc0 - ipc1) / (ipc0 + ipc1)``), compared against the
+    hysteresis dead-band.  Each reaction moves one step: raise the
+    lagging thread while it is below the bound, otherwise lower the
+    leading thread.  After every applied change the policy holds for
+    ``cooldown`` epochs so the new assignment is observed before the
+    next move -- together with the dead-band this prevents the
+    raise/lower oscillation a naive controller exhibits.
+    """
+
+    name = "ipc_balance"
+
+    def __init__(self, config: GovernorConfig):
+        super().__init__(config)
+        self._cooldown = 0
+
+    def reset(self) -> None:
+        self._cooldown = 0
+
+    def decide(self, obs) -> Decision:
+        if self._cooldown:
+            self._cooldown -= 1
+            return None, "cooldown"
+        ipc0, ipc1 = obs.ipc
+        total = ipc0 + ipc1
+        if total <= 0.0:
+            return None, "idle epoch"
+        gap = (ipc0 - ipc1) / total
+        if abs(gap) <= self.config.hysteresis:
+            return None, f"balanced (gap {gap:+.3f})"
+        lag = 1 if gap > 0 else 0
+        lead = 1 - lag
+        p = [obs.priorities[0], obs.priorities[1]]
+        if p[lag] < self.config.max_priority:
+            p[lag] += 1
+        elif p[lead] > self.config.min_priority:
+            p[lead] -= 1
+        else:
+            return None, f"at bounds (gap {gap:+.3f})"
+        self._cooldown = self.config.cooldown
+        return (p[0], p[1]), f"t{lag} lags (gap {gap:+.3f})"
+
+
+class ThroughputMaxPolicy(Policy):
+    """Hill-climb total IPC over the 8-level priority space.
+
+    Epoch-level exploration: the policy measures total IPC at the
+    current assignment, then trials one neighbouring assignment (one
+    thread moved one level, cycled deterministically over the four
+    directions).  A trial that beats the incumbent by more than the
+    hysteresis margin is adopted and exploration continues from it; a
+    failed trial is reverted and the policy backs off exponentially
+    (up to ``_MAX_BACKOFF`` epochs) so a converged run settles down
+    instead of probing forever.  Adoption resets the backoff.
+    """
+
+    name = "throughput_max"
+
+    #: Neighbour moves, trialled in this fixed order.
+    _MOVES = ((1, 0), (0, -1), (0, 1), (-1, 0))
+    _MAX_BACKOFF = 32
+
+    def __init__(self, config: GovernorConfig):
+        super().__init__(config)
+        self.reset()
+
+    def reset(self) -> None:
+        self._state = "measure"
+        self._incumbent: tuple[int, int] | None = None
+        self._incumbent_ipc = 0.0
+        self._move = 0
+        self._wait = 0
+        self._backoff = 1
+
+    def _next_trial(self, base: tuple[int, int]) -> tuple[int, int] | None:
+        """The next in-bounds neighbour of ``base`` (cyclic order)."""
+        clamp = self.config.clamp
+        for _ in range(len(self._MOVES)):
+            d0, d1 = self._MOVES[self._move]
+            self._move = (self._move + 1) % len(self._MOVES)
+            cand = (clamp(base[0] + d0), clamp(base[1] + d1))
+            if cand != base:
+                return cand
+        return None
+
+    def decide(self, obs) -> Decision:
+        if self._wait:
+            self._wait -= 1
+            return None, "backoff"
+        total = obs.ipc[0] + obs.ipc[1]
+        if self._state == "measure":
+            self._incumbent = obs.priorities
+            self._incumbent_ipc = total
+            trial = self._next_trial(obs.priorities)
+            if trial is None:
+                return None, "no in-bounds neighbour"
+            self._state = "trial"
+            self._wait = self.config.cooldown
+            return trial, (f"trial {trial} "
+                           f"(incumbent tt {total:.3f})")
+        # Trial epoch: keep or revert.  Adoption needs only a small
+        # margin (a tenth of the hysteresis): single-level moves gain
+        # a few percent each, and demanding the full dead-band per
+        # step would stall the climb halfway up the ladder.
+        margin = self._incumbent_ipc * (
+            1.0 + 0.1 * self.config.hysteresis)
+        if total > margin:
+            self._incumbent = obs.priorities
+            self._incumbent_ipc = total
+            self._backoff = 1
+            trial = self._next_trial(obs.priorities)
+            if trial is None:
+                self._state = "measure"
+                return None, f"adopted (tt {total:.3f})"
+            self._wait = self.config.cooldown
+            return trial, (f"adopted, trial {trial} "
+                           f"(tt {total:.3f})")
+        self._state = "measure"
+        self._wait = self._backoff
+        self._backoff = min(self._backoff * 2, self._MAX_BACKOFF)
+        return self._incumbent, (f"revert to {self._incumbent} "
+                                 f"(tt {total:.3f} <= {margin:.3f})")
+
+
+class TransparentPolicy(Policy):
+    """Run a background thread below a foreground-slowdown budget.
+
+    The foreground thread is pinned at ``max_priority``; the background
+    thread starts at ``min_priority`` (the paper's transparent setting)
+    and its priority is the controlled variable.  Slowdown is measured
+    per epoch as ``1 - fg_epoch_ipc / reference``, where the reference
+    is the foreground's single-thread IPC when the caller knows it
+    (``st_ipc``) and otherwise the best foreground epoch IPC observed
+    while the background sat at the minimum priority -- an adaptive
+    stand-in for the unimpeded rate.  The background rises one level
+    only while the slowdown stays under half the budget (claiming
+    headroom conservatively) and drops immediately to the minimum the
+    moment the budget is exceeded, so violations are corrected within
+    one epoch rather than stepwise.
+    """
+
+    name = "transparent"
+
+    def __init__(self, config: GovernorConfig,
+                 st_ipc: float | None = None):
+        super().__init__(config)
+        self._st_ipc = st_ipc
+        self.reset()
+
+    def reset(self) -> None:
+        self._reference = self._st_ipc
+        self._cooldown = 0
+        self._started = False
+
+    def decide(self, obs) -> Decision:
+        cfg = self.config
+        bg = cfg.background_thread
+        fg = 1 - bg
+        want = [0, 0]
+        want[fg] = cfg.max_priority
+        want[bg] = cfg.min_priority
+        if not self._started:
+            self._started = True
+            if obs.priorities != (want[0], want[1]):
+                return (want[0], want[1]), "enter transparent baseline"
+        fg_ipc = obs.ipc[fg]
+        if obs.priorities[bg] <= cfg.min_priority:
+            # Background at the floor: track the unimpeded foreground
+            # rate (only meaningful when the caller gave no ST IPC).
+            if self._st_ipc is None and fg_ipc > (self._reference or 0.0):
+                self._reference = fg_ipc
+        ref = self._reference
+        if not ref:
+            return None, "no reference yet"
+        slowdown = 1.0 - fg_ipc / ref
+        if slowdown > cfg.budget:
+            self._cooldown = cfg.cooldown
+            if obs.priorities[bg] > cfg.min_priority:
+                want[bg] = cfg.min_priority
+                return (want[0], want[1]), (
+                    f"budget exceeded (slowdown {slowdown:.3f} "
+                    f"> {cfg.budget}): background to floor")
+            return None, f"over budget at floor ({slowdown:.3f})"
+        if self._cooldown:
+            self._cooldown -= 1
+            return None, "cooldown"
+        if (slowdown < 0.5 * cfg.budget
+                and obs.priorities[bg] < obs.priorities[fg] - 1):
+            want[bg] = obs.priorities[bg] + 1
+            self._cooldown = cfg.cooldown
+            return (want[0], want[1]), (
+                f"headroom (slowdown {slowdown:.3f}): background up")
+        return None, f"within budget (slowdown {slowdown:.3f})"
+
+
+class PipelinePolicy(Policy):
+    """Tune a producer(t0) -> consumer(t1) pipeline's priority gap.
+
+    The controlled quantity is the pipeline's *iteration time*: the
+    average gap between consumer repetition completions, measured
+    exactly from the repetition timestamps over windows of
+    ``_WINDOW_REPS`` completions.  Each probe widens the priority gap
+    one step toward the stage whose repetition takes longer -- exactly
+    the knob the paper turns by hand for Table 4 -- but the move is
+    kept only if the measured iteration time actually improved; a move
+    that did not help (a stage can lag for reasons decode slots cannot
+    fix, e.g. a gated consumer leaving the producer the whole machine
+    anyway) is reverted.  After ``_MAX_FAILS`` consecutive failed
+    probes the policy declares convergence and holds for good, so the
+    steady state is the best assignment it visited, not an endless
+    oscillation around it.
+    """
+
+    name = "pipeline"
+
+    #: Consumer repetitions per measurement window.
+    _WINDOW_REPS = 2
+    #: Relative improvement a probe must show to be adopted.
+    _IMPROVE = 0.005
+    #: Consecutive failed probes before the policy stops exploring.
+    _MAX_FAILS = 2
+
+    def __init__(self, config: GovernorConfig):
+        super().__init__(config)
+        self.reset()
+
+    def reset(self) -> None:
+        self._mark: tuple[int, int] | None = None
+        self._settle = 0
+        self._trialing = False
+        self._incumbent: tuple[int, int] | None = None
+        self._incumbent_time: float | None = None
+        self._fails = 0
+
+    def _probe(self, obs) -> Decision:
+        """Widen the gap one step toward the slower stage."""
+        t0, t1 = obs.rep_cycles
+        if not t0 or not t1:
+            self._trialing = False
+            return None, "no stage times"
+        slow, fast = (0, 1) if t0 >= t1 else (1, 0)
+        p = [obs.priorities[0], obs.priorities[1]]
+        if p[slow] < self.config.max_priority:
+            p[slow] += 1
+        elif p[fast] > self.config.min_priority:
+            p[fast] -= 1
+        else:
+            self._trialing = False
+            return None, "at bounds"
+        return (p[0], p[1]), (f"probe: stage {slow} slower "
+                              f"({t0:.0f} vs {t1:.0f} cyc)")
+
+    def decide(self, obs) -> Decision:
+        reps, end = obs.reps[1], obs.rep_ends[1]
+        if reps < 1:
+            return None, "warming up"
+        if self._fails >= self._MAX_FAILS:
+            return None, "converged"
+        if self._mark is None:
+            # After a priority change, discard one repetition (it
+            # straddles the change) before opening the next window.
+            if reps < self._settle:
+                return None, "settling"
+            self._mark = (reps, end)
+            return None, "window start"
+        if reps - self._mark[0] < self._WINDOW_REPS:
+            return None, "measuring"
+        time_per = (end - self._mark[1]) / (reps - self._mark[0])
+        self._mark = None
+        if not self._trialing:
+            # Baseline window done: remember it, launch a probe.
+            self._incumbent = obs.priorities
+            self._incumbent_time = time_per
+            target, reason = self._probe(obs)
+            if target is not None:
+                self._trialing = True
+                self._settle = reps + 1
+            return target, reason
+        # Probe window done: keep on improvement, else revert.
+        self._trialing = False
+        if time_per <= self._incumbent_time * (1.0 - self._IMPROVE):
+            self._fails = 0
+            return None, (f"adopted {obs.priorities} "
+                          f"({time_per:.0f} < "
+                          f"{self._incumbent_time:.0f} cyc/iter)")
+        self._fails += 1
+        self._settle = reps + 1
+        return self._incumbent, (
+            f"revert to {self._incumbent} ({time_per:.0f} >= "
+            f"{self._incumbent_time:.0f} cyc/iter)")
+
+
+#: Policy registry: id -> factory(config, **params).
+POLICIES: dict[str, Callable[..., Policy]] = {
+    StaticPolicy.name: StaticPolicy,
+    IpcBalancePolicy.name: IpcBalancePolicy,
+    ThroughputMaxPolicy.name: ThroughputMaxPolicy,
+    TransparentPolicy.name: TransparentPolicy,
+    PipelinePolicy.name: PipelinePolicy,
+}
+
+
+def make_policy(name: str, config: GovernorConfig, **params) -> Policy:
+    """Instantiate a registered policy by id."""
+    try:
+        factory = POLICIES[name]
+    except KeyError:
+        raise ValueError(f"unknown governor policy {name!r}; "
+                         f"available: {sorted(POLICIES)}") from None
+    return factory(config, **params)

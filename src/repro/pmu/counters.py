@@ -38,9 +38,15 @@ class CounterBank:
     # ------------------------------------------------------------------
 
     @classmethod
-    def capture(cls, core) -> "CounterBank":
-        """Snapshot all events from a live :class:`repro.core.SMTCore`."""
-        cycles = core.cycle
+    def capture(cls, core, cycles: int | None = None) -> "CounterBank":
+        """Snapshot all events from a live :class:`repro.core.SMTCore`.
+
+        ``cycles`` overrides the core's cycle count -- callers inside a
+        periodic hook pass the hook's ``now`` (the core only publishes
+        its cycle counter when :meth:`SMTCore.step` returns).
+        """
+        if cycles is None:
+            cycles = core.cycle
         hier = core.hierarchy
         bal = core.balancer.stats
         fus = core.fus
@@ -128,6 +134,22 @@ class CounterBank:
                    data: tuple) -> "CounterBank":
         """Rebuild a bank from :meth:`as_tuple` output."""
         return cls(cycles, priorities, {name: tuple(v) for name, v in data})
+
+    def delta(self, prev: "CounterBank") -> "CounterBank":
+        """The counting since ``prev``: elementwise ``self - prev``.
+
+        ``cycles`` becomes the span length and ``priorities`` the
+        current pair.  This is the epoch arithmetic of the priority
+        governor: two snapshots bracket an epoch and the delta holds
+        exactly what happened inside it.  All registered events are
+        monotonic counters, so every delta component is >= 0 when
+        ``prev`` was captured earlier on the same run.
+        """
+        old = prev._values
+        values = {name: (cur[0] - old[name][0], cur[1] - old[name][1])
+                  for name, cur in self._values.items()}
+        return CounterBank(self.cycles - prev.cycles, self.priorities,
+                           values)
 
     def rows(self) -> list[tuple[str, str, int, int]]:
         """(name, description, t0, t1) rows in registry order."""

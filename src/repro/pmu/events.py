@@ -88,8 +88,9 @@ EVENTS: tuple[EventDef, ...] = (
     EventDef("PM_OPERAND_WAIT_CYC", "fu", "cycles dispatched instructions "
              "waited for source operands past the front-end depth"),
     # -- software-priority interface ---------------------------------
-    EventDef("PM_PRIO_CHANGE", "priority", "in-trace priority requests "
-             "that took effect (applied or-nops)"),
+    EventDef("PM_PRIO_CHANGE", "priority", "software priority requests "
+             "that took effect (applied or-nops, kernel sysfs writes "
+             "and hypervisor calls)"),
 )
 
 #: Event name -> position in :data:`EVENTS`.

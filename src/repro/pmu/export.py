@@ -79,6 +79,18 @@ def report_records(report, label: str = "") -> list[dict]:
             "accumulated_ipc": f.accumulated_ipc,
             "maiv_gap": f.maiv_gap,
         })
+    for d in report.governor_decisions:
+        records.append({
+            "type": "governor",
+            "label": label,
+            "epoch": d.epoch,
+            "cycle": d.cycle,
+            "ipc": list(d.ipc),
+            "before": list(d.before),
+            "after": list(d.after),
+            "reason": d.reason,
+            "applied": d.applied,
+        })
     return records
 
 
@@ -129,6 +141,30 @@ def trace_events(report, pid: int = 0, label: str = "") -> list[dict]:
             "args": {"accumulated_ipc": f.accumulated_ipc,
                      "maiv_gap": f.maiv_gap},
         })
+    if report.governor_decisions:
+        # Dedicated governor track (tid 2, below the hardware threads):
+        # a counter series of the priorities in force per epoch, plus
+        # an instant event for every applied change carrying the
+        # policy's reason.
+        gov_tid = 2
+        events.append({
+            "name": "thread_name", "ph": "M", "ts": 0, "pid": pid,
+            "tid": gov_tid, "args": {"name": "governor"},
+        })
+        for d in report.governor_decisions:
+            events.append({
+                "name": "governor prio", "ph": "C", "ts": d.cycle,
+                "pid": pid, "tid": gov_tid,
+                "args": {"prio_t0": d.after[0], "prio_t1": d.after[1]},
+            })
+            if d.applied:
+                events.append({
+                    "name": f"{d.before}->{d.after}", "ph": "i",
+                    "ts": d.cycle, "pid": pid, "tid": gov_tid,
+                    "s": "t",
+                    "args": {"reason": d.reason,
+                             "ipc_t0": d.ipc[0], "ipc_t1": d.ipc[1]},
+                })
     return events
 
 

@@ -49,6 +49,9 @@ class PmuReport:
     fame_samples: tuple[FameSample, ...] = ()
     rep_spans: tuple[tuple, tuple] = ((), ())  # per thread: ((start, end), ...)
     sample_period: int = 0
+    #: Per-epoch :class:`repro.governor.GovernorDecision` records when
+    #: a priority governor drove the run (empty otherwise).
+    governor_decisions: tuple = ()
 
     def bank(self) -> CounterBank:
         """The counter bank this report snapshot was taken from."""
@@ -100,6 +103,7 @@ class Pmu:
     _workloads: tuple = (None, None)
     _rep_spans: tuple = ((), ())
     _fame: list = field(default_factory=list, repr=False)
+    _decisions: tuple = ()
 
     def attach(self, core) -> None:
         """Instrument ``core`` (call after :meth:`SMTCore.load`)."""
@@ -121,6 +125,10 @@ class Pmu:
                 zip(th.rep_start_times, th.rep_end_times))
         self._workloads = (workloads[0], workloads[1])
         self._rep_spans = (spans[0], spans[1])
+
+    def set_decisions(self, decisions) -> None:
+        """Attach a governor's per-epoch decision log to the report."""
+        self._decisions = tuple(decisions)
 
     def emit_fame(self, thread_id: int, repetition: int, end_cycle: int,
                   accumulated_ipc: float, maiv_gap: float) -> None:
@@ -153,4 +161,5 @@ class Pmu:
             samples=tuple(self.samples),
             fame_samples=tuple(self._fame),
             rep_spans=self._rep_spans,
-            sample_period=self.sample_period or 0)
+            sample_period=self.sample_period or 0,
+            governor_decisions=self._decisions)

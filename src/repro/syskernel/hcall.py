@@ -29,8 +29,14 @@ class Hypervisor:
             raise HypervisorError(f"no such thread: {thread_id}")
         if not 0 <= priority <= 7:
             raise HypervisorError(f"priority out of range: {priority}")
-        self._core.interface.request(thread_id, priority,
-                                     PrivilegeLevel.HYPERVISOR)
+        applied = self._core.interface.request(thread_id, priority,
+                                               PrivilegeLevel.HYPERVISOR)
+        if applied:
+            # Software drove the priority knob: count it on the target
+            # thread as a PM_PRIO_CHANGE, like an in-trace priority nop.
+            th = self._core._threads[thread_id]
+            if th is not None:
+                th.priority_changes += 1
         self._core._rebuild_arbiter()
         self.calls.append(("h_set_priority", thread_id, priority))
 

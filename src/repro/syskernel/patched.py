@@ -61,14 +61,24 @@ class PatchedKernel(StockLinuxKernel):
         """The patch's privileged path: any level 0..7.
 
         1-6 are applied at supervisor privilege; 0 and 7 are forwarded
-        to the hypervisor, as the paper describes.
+        to the hypervisor, as the paper describes.  An applied change
+        counts as a ``PM_PRIO_CHANGE`` event on the target thread,
+        just like an in-trace priority nop: both are software acting
+        on the same hardware knob.  Like a priority nop, a change
+        issued mid-measurement (e.g. from a periodic hook) takes
+        effect at the next decode boundary -- the slot arbitration of
+        the cycle in flight is already decided.
         """
         level = PriorityLevel(priority)
         if level in (PriorityLevel.THREAD_OFF, PriorityLevel.VERY_HIGH):
             assert self._hypervisor is not None, "kernel not installed"
             self._hypervisor.h_set_priority(thread_id, level)
             return
-        core.interface.request(thread_id, level, PrivilegeLevel.SUPERVISOR)
+        if core.interface.request(thread_id, level,
+                                  PrivilegeLevel.SUPERVISOR):
+            th = core._threads[thread_id]
+            if th is not None:
+                th.priority_changes += 1
         core._rebuild_arbiter()
 
     def _reader(self, core: SMTCore, tid: int):

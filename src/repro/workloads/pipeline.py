@@ -30,6 +30,11 @@ class PipelineResult:
     iteration_cycles: float
     iterations_measured: int
     total_cycles: int
+    #: When a governor drove the run: the assignment in force at the
+    #: end and its per-epoch decision log (``priorities`` above is the
+    #: *initial* assignment).
+    final_priorities: tuple[int, int] | None = None
+    decisions: tuple = ()
 
     def seconds(self, config: CoreConfig) -> tuple[float, float, float]:
         """(producer, consumer, iteration) times in nominal seconds."""
@@ -55,8 +60,15 @@ class SoftwarePipeline:
 
     def run(self, priorities: tuple[int, int] = (4, 4),
             iterations: int = 10, warmup: int = 2,
-            max_cycles: int = 10_000_000) -> PipelineResult:
-        """Measure steady-state per-iteration time at ``priorities``."""
+            max_cycles: int = 10_000_000,
+            governor=None) -> PipelineResult:
+        """Measure steady-state per-iteration time at ``priorities``.
+
+        With a :class:`repro.governor.Governor`, ``priorities`` is the
+        initial assignment and the governor retunes it per epoch
+        (:class:`repro.governor.PipelinePolicy` is the policy built
+        for this workload: it boosts whichever stage lags).
+        """
         if iterations <= warmup:
             raise ValueError("need more iterations than warmup")
         core = SMTCore(self.config)
@@ -71,6 +83,8 @@ class SoftwarePipeline:
 
         core.load([self.producer, self.consumer], priorities,
                   rep_gate=gate)
+        if governor is not None:
+            governor.attach(core)
         while (core.thread(1).completed_repetitions < iterations
                and core.cycle < max_cycles):
             core.step(4096)
@@ -97,6 +111,10 @@ class SoftwarePipeline:
             iteration_cycles=iteration,
             iterations_measured=measured - warmup,
             total_cycles=core.cycle,
+            final_priorities=(governor.final_priorities
+                              if governor is not None else None),
+            decisions=(governor.decision_log()
+                       if governor is not None else ()),
         )
 
     def single_thread_times(self) -> tuple[float, float]:

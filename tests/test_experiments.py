@@ -150,11 +150,11 @@ class TestExperimentRuns:
         assert report.data["d"][("cpu_int", 6)] > 0.0
 
     def test_registry_contains_all_artifacts(self):
-        # Every table/figure of the paper, plus the two extensions.
+        # Every table/figure of the paper, plus the extensions.
         assert set(EXPERIMENTS) == {
             "table1", "figure1", "table3", "figure2", "figure3",
             "figure4", "figure5", "table4", "figure6", "noise",
-            "modelcheck"}
+            "modelcheck", "governor"}
 
     def test_figure1_fame_accounting(self, ctx):
         from repro.experiments.figure1 import run_figure1

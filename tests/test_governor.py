@@ -1,0 +1,508 @@
+"""Tests for the closed-loop priority governor.
+
+Three layers: GovernorConfig/attach validation, policy state machines
+driven with synthetic observations, and the reduced-scale ``governor``
+experiment whose comparison claims (governed matches best static) are
+the subsystem's acceptance criteria.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import POWER5
+from repro.core import SMTCore
+from repro.experiments import ExperimentContext, governed_cell
+from repro.fame import FameRunner
+from repro.governor import (
+    Governor,
+    GovernorConfig,
+    GovernorDecision,
+    EpochObservation,
+    IpcBalancePolicy,
+    PipelinePolicy,
+    POLICIES,
+    StaticPolicy,
+    ThroughputMaxPolicy,
+    TransparentPolicy,
+    make_policy,
+)
+from repro.microbench import make_microbenchmark
+
+SECONDARY_BASE = (1 << 27) + 8192
+
+
+def obs(priorities=(4, 4), ipc=(0.5, 0.5), epoch=0, cycle=500,
+        reps=(0, 0), rep_cycles=(0.0, 0.0), rep_ends=(0, 0)):
+    """A synthetic observation for driving policies directly."""
+    return EpochObservation(
+        epoch=epoch, cycle=cycle, priorities=priorities, ipc=ipc,
+        retired=(int(ipc[0] * cycle), int(ipc[1] * cycle)),
+        slot_share=(0.5, 0.5), reps=reps, rep_cycles=rep_cycles,
+        rep_ends=rep_ends)
+
+
+# ----------------------------------------------------------------------
+# GovernorConfig
+# ----------------------------------------------------------------------
+
+
+class TestGovernorConfig:
+    def test_defaults_valid(self):
+        cfg = GovernorConfig()
+        assert cfg.epoch >= 1
+        assert cfg.min_priority == 1 and cfg.max_priority == 6
+
+    @pytest.mark.parametrize("kwargs", [
+        {"epoch": 0},
+        {"epoch": -5},
+        {"hysteresis": -0.1},
+        {"hysteresis": 1.0},
+        {"cooldown": -1},
+        {"min_priority": 0},
+        {"max_priority": 7},
+        {"min_priority": 5, "max_priority": 4},
+        {"budget": 0.0},
+        {"budget": 1.0},
+        {"background_thread": 2},
+    ])
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            GovernorConfig(**kwargs)
+
+    def test_clamp(self):
+        cfg = GovernorConfig(min_priority=2, max_priority=5)
+        assert cfg.clamp(1) == 2
+        assert cfg.clamp(6) == 5
+        assert cfg.clamp(3) == 3
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            GovernorConfig().epoch = 7
+
+
+class TestPolicyRegistry:
+    def test_all_policies_registered(self):
+        assert set(POLICIES) == {"static", "ipc_balance",
+                                 "throughput_max", "transparent",
+                                 "pipeline"}
+
+    def test_make_policy(self):
+        cfg = GovernorConfig()
+        assert isinstance(make_policy("static", cfg), StaticPolicy)
+        p = make_policy("transparent", cfg, st_ipc=1.5)
+        assert isinstance(p, TransparentPolicy)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError, match="unknown governor policy"):
+            make_policy("nope", GovernorConfig())
+
+
+# ----------------------------------------------------------------------
+# Attach-time validation
+# ----------------------------------------------------------------------
+
+
+class TestAttach:
+    def test_rejects_single_thread(self, config):
+        core = SMTCore(config)
+        core.load([make_microbenchmark("cpu_int", config)])
+        with pytest.raises(ValueError, match="SMT2"):
+            Governor().attach(core)
+
+    def test_rejects_out_of_range_priorities(self, config):
+        core = SMTCore(config)
+        core.load([make_microbenchmark("cpu_int", config),
+                   make_microbenchmark("cpu_fp", config,
+                                       base_address=SECONDARY_BASE)],
+                  priorities=(7, 3))
+        with pytest.raises(ValueError, match="1..6"):
+            Governor().attach(core)
+
+    def test_attach_installs_kernel_and_hook(self, config):
+        core = SMTCore(config)
+        core.load([make_microbenchmark("cpu_int", config),
+                   make_microbenchmark("cpu_fp", config,
+                                       base_address=SECONDARY_BASE)])
+        gov = Governor(GovernorConfig(epoch=100))
+        gov.attach(core)
+        assert gov.kernel is not None
+        core.step(350)
+        assert len(gov.decisions) == 3  # epochs at cycles 100/200/300
+
+
+# ----------------------------------------------------------------------
+# Policy state machines (synthetic observations)
+# ----------------------------------------------------------------------
+
+
+class TestStaticPolicy:
+    def test_never_moves(self):
+        p = StaticPolicy(GovernorConfig())
+        for _ in range(5):
+            target, _ = p.decide(obs(ipc=(1.0, 0.001)))
+            assert target is None
+
+
+class TestIpcBalancePolicy:
+    def test_dead_band_holds(self):
+        p = IpcBalancePolicy(GovernorConfig(hysteresis=0.2))
+        target, reason = p.decide(obs(ipc=(0.55, 0.45)))
+        assert target is None and "balanced" in reason
+
+    def test_raises_lagging_thread(self):
+        p = IpcBalancePolicy(GovernorConfig(cooldown=2))
+        target, reason = p.decide(obs(ipc=(1.0, 0.1)))
+        assert target == (4, 5)
+        assert "t1 lags" in reason
+
+    def test_cooldown_after_change(self):
+        p = IpcBalancePolicy(GovernorConfig(cooldown=2))
+        assert p.decide(obs(ipc=(1.0, 0.1)))[0] == (4, 5)
+        assert p.decide(obs(ipc=(1.0, 0.1)))[0] is None
+        assert p.decide(obs(ipc=(1.0, 0.1)))[0] is None
+        assert p.decide(obs(priorities=(4, 5), ipc=(1.0, 0.1))
+                        )[0] == (4, 6)
+
+    def test_lowers_leader_at_bound(self):
+        p = IpcBalancePolicy(GovernorConfig(cooldown=0))
+        target, _ = p.decide(obs(priorities=(4, 6), ipc=(1.0, 0.1)))
+        assert target == (3, 6)
+
+    def test_idle_epoch_holds(self):
+        p = IpcBalancePolicy(GovernorConfig())
+        assert p.decide(obs(ipc=(0.0, 0.0)))[0] is None
+
+
+class TestThroughputMaxPolicy:
+    def test_trial_adopt_revert_cycle(self):
+        p = ThroughputMaxPolicy(GovernorConfig(cooldown=0))
+        # Measure at (4,4): launches the first trial (raise t0).
+        target, _ = p.decide(obs(priorities=(4, 4), ipc=(0.5, 0.5)))
+        assert target == (5, 4)
+        # Trial improved: adopted, next neighbour trialled.
+        target, reason = p.decide(obs(priorities=(5, 4),
+                                      ipc=(1.0, 0.5)))
+        assert "adopted" in reason
+        assert target == (5, 3)
+        # Trial regressed: revert to the incumbent.
+        target, reason = p.decide(obs(priorities=(5, 3),
+                                      ipc=(0.2, 0.1)))
+        assert target == (5, 4)
+        assert "revert" in reason
+        # Exponential backoff holds after a failed trial.
+        assert p.decide(obs(priorities=(5, 4), ipc=(0.5, 0.5))
+                        )[0] is None
+
+    def test_respects_priority_bounds(self):
+        cfg = GovernorConfig(cooldown=0, min_priority=4,
+                             max_priority=4)
+        p = ThroughputMaxPolicy(cfg)
+        target, reason = p.decide(obs(priorities=(4, 4)))
+        assert target is None and "neighbour" in reason
+
+
+class TestTransparentPolicy:
+    CFG = dict(cooldown=0, budget=0.1)
+
+    def test_enters_baseline_first(self):
+        p = TransparentPolicy(GovernorConfig(**self.CFG), st_ipc=1.0)
+        target, reason = p.decide(obs(priorities=(4, 4)))
+        assert target == (6, 1)
+        assert "baseline" in reason
+
+    def test_raises_background_with_headroom(self):
+        p = TransparentPolicy(GovernorConfig(**self.CFG), st_ipc=1.0)
+        p.decide(obs(priorities=(4, 4)))
+        target, reason = p.decide(obs(priorities=(6, 1),
+                                      ipc=(0.99, 0.01)))
+        assert target == (6, 2)
+        assert "headroom" in reason
+
+    def test_drops_to_floor_on_violation(self):
+        p = TransparentPolicy(GovernorConfig(**self.CFG), st_ipc=1.0)
+        p.decide(obs(priorities=(4, 4)))
+        target, reason = p.decide(obs(priorities=(6, 3),
+                                      ipc=(0.7, 0.2)))
+        assert target == (6, 1)
+        assert "budget exceeded" in reason
+
+    def test_adaptive_reference_without_st_ipc(self):
+        p = TransparentPolicy(GovernorConfig(**self.CFG))
+        p.decide(obs(priorities=(4, 4)))
+        # First epoch at the floor establishes the reference...
+        assert p.decide(obs(priorities=(6, 1), ipc=(1.0, 0.01))
+                        )[0] == (6, 2)
+        # ...and a later epoch between half-budget and budget holds.
+        target, reason = p.decide(obs(priorities=(6, 2),
+                                      ipc=(0.93, 0.05)))
+        assert target is None and "within budget" in reason
+
+
+class TestPipelinePolicy:
+    def test_probe_adopt_and_converge(self):
+        p = PipelinePolicy(GovernorConfig())
+        assert p.decide(obs(reps=(0, 0)))[0] is None      # warming up
+        assert p.decide(obs(reps=(1, 1), rep_ends=(100, 120))
+                        )[0] is None                       # window start
+        # Baseline window of 2 consumer reps -> probe the slow stage.
+        target, reason = p.decide(obs(
+            priorities=(4, 4), reps=(2, 3), rep_ends=(390, 420),
+            rep_cycles=(200.0, 50.0)))
+        assert target == (5, 4) and "probe" in reason
+        # One settling rep is discarded before the probe window opens.
+        assert p.decide(obs(priorities=(5, 4), reps=(3, 4),
+                            rep_ends=(500, 540),
+                            rep_cycles=(150.0, 50.0)))[0] is None
+        # Probe window shows improvement -> adopted (no change emitted).
+        target, reason = p.decide(obs(
+            priorities=(5, 4), reps=(5, 6), rep_ends=(740, 790),
+            rep_cycles=(130.0, 50.0)))
+        assert target is None and "adopted" in reason
+
+    def test_failed_probes_revert_then_converge(self):
+        p = PipelinePolicy(GovernorConfig())
+        p.decide(obs(reps=(1, 1), rep_ends=(100, 100)))
+        assert p.decide(obs(priorities=(4, 4), reps=(3, 3),
+                            rep_ends=(300, 300),
+                            rep_cycles=(100.0, 90.0)))[0] == (5, 4)
+        p.decide(obs(priorities=(5, 4), reps=(4, 4),
+                     rep_ends=(400, 400), rep_cycles=(100.0, 90.0)))
+        # Probe window did NOT improve: revert.
+        target, reason = p.decide(obs(
+            priorities=(5, 4), reps=(6, 6), rep_ends=(650, 650),
+            rep_cycles=(120.0, 90.0)))
+        assert target == (4, 4) and "revert" in reason
+        # Second failed probe cycle -> converged for good.
+        p.decide(obs(priorities=(4, 4), reps=(8, 8),
+                     rep_ends=(850, 850)))          # settle+window start
+        assert p.decide(obs(priorities=(4, 4), reps=(10, 10),
+                            rep_ends=(1050, 1050),
+                            rep_cycles=(100.0, 90.0)))[0] == (5, 4)
+        p.decide(obs(priorities=(5, 4), reps=(11, 11),
+                     rep_ends=(1150, 1150)))
+        assert p.decide(obs(priorities=(5, 4), reps=(13, 13),
+                            rep_ends=(1400, 1400),
+                            rep_cycles=(100.0, 90.0)))[0] == (4, 4)
+        target, reason = p.decide(obs(priorities=(4, 4),
+                                      reps=(20, 20),
+                                      rep_ends=(2000, 2000)))
+        assert target is None and reason == "converged"
+
+
+# ----------------------------------------------------------------------
+# End-to-end governed runs
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def governed_fame(config):
+    """One governed FAME pair run shared by the end-to-end tests."""
+    runner = FameRunner(config, min_repetitions=3, max_cycles=300_000)
+    cfg = GovernorConfig(epoch=250)
+    gov = Governor(cfg, IpcBalancePolicy(cfg))
+    fame = runner.run_pair(
+        make_microbenchmark("cpu_int", config),
+        make_microbenchmark("ldint_mem", config,
+                            base_address=SECONDARY_BASE),
+        priorities=(4, 4), governor=gov)
+    return fame, gov
+
+
+class TestGovernedRun:
+    def test_decisions_recorded_every_epoch(self, governed_fame):
+        _, gov = governed_fame
+        assert len(gov.decisions) > 10
+        assert [d.epoch for d in gov.decisions] == list(
+            range(len(gov.decisions)))
+        for d in gov.decisions:
+            assert isinstance(d, GovernorDecision)
+            assert d.applied == (d.before != d.after)
+
+    def test_priorities_actually_retuned(self, governed_fame):
+        _, gov = governed_fame
+        assert gov.applied_changes > 0
+        assert gov.final_priorities != (4, 4)
+
+    def test_actuation_counts_prio_change_events(self, governed_fame):
+        fame, gov = governed_fame
+        counted = sum(fame.thread(tid).priority_changes
+                      for tid in (0, 1))
+        # Each applied decision writes one sysfs file per changed
+        # thread; every effective write is one PM_PRIO_CHANGE.
+        assert counted >= gov.applied_changes
+
+    def test_pmu_report_carries_decisions(self, config):
+        from repro.pmu import Pmu, report_records, trace_events
+        runner = FameRunner(config, min_repetitions=2,
+                            max_cycles=150_000)
+        cfg = GovernorConfig(epoch=250)
+        gov = Governor(cfg, IpcBalancePolicy(cfg))
+        pmu = Pmu()
+        runner.run_pair(
+            make_microbenchmark("cpu_int", config),
+            make_microbenchmark("ldint_mem", config,
+                                base_address=SECONDARY_BASE),
+            priorities=(4, 4), pmu=pmu, governor=gov)
+        report = pmu.report()
+        assert report.governor_decisions == gov.decision_log()
+        # JSONL export: one governor record per epoch.
+        records = [r for r in report_records(report, "x")
+                   if r["type"] == "governor"]
+        assert len(records) == len(gov.decisions)
+        assert {"epoch", "cycle", "ipc", "before", "after", "reason",
+                "applied"} <= set(records[0])
+        # Chrome trace: a dedicated governor track with a priority
+        # counter per epoch and an instant event per applied change.
+        events = trace_events(report)
+        names = [e["args"]["name"] for e in events
+                 if e["name"] == "thread_name"]
+        assert "governor" in names
+        prio_track = [e for e in events if e["name"] == "governor prio"]
+        assert len(prio_track) == len(gov.decisions)
+        instants = [e for e in events if e.get("ph") == "i"]
+        assert len(instants) == gov.applied_changes
+
+
+# ----------------------------------------------------------------------
+# The `governor` experiment and its acceptance claims
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def governor_report(config):
+    from repro.experiments.governor import run_governor
+    ctx = ExperimentContext(config=config, max_cycles=400_000,
+                            governor_epoch=400)
+    return run_governor(ctx)
+
+
+class TestGovernorExperiment:
+    def test_registered(self):
+        from repro.experiments import EXPERIMENTS
+        assert "governor" in EXPERIMENTS
+
+    def test_report_structure(self, governor_report):
+        text = str(governor_report)
+        assert "FFT/LU software pipeline" in text
+        assert "decision log" in text
+        assert governor_report.data["pairs"]
+        for pd in governor_report.data["pairs"].values():
+            assert set(pd["policies"]) == {"static", "ipc_balance",
+                                           "throughput_max",
+                                           "transparent"}
+
+    def test_static_policy_is_inert(self, governor_report):
+        for pd in governor_report.data["pairs"].values():
+            st = pd["policies"]["static"]
+            assert st["changes"] == 0
+            assert st["final_priorities"] == (4, 4)
+
+    def test_policies_do_retune(self, governor_report):
+        for pd in governor_report.data["pairs"].values():
+            assert pd["policies"]["ipc_balance"]["changes"] > 0
+
+    def test_ipc_balance_matches_best_static(self, governor_report):
+        claims = governor_report.data["claims"]
+        assert claims["ipc_balance_matches_best_static_min"], (
+            "IpcBalancePolicy must match or beat the best static "
+            "assignment's min-thread IPC on at least one workload")
+
+    def test_throughput_max_matches_best_static(self, governor_report):
+        claims = governor_report.data["claims"]
+        assert claims["throughput_max_matches_best_static_total"]
+
+    def test_pipeline_matches_best_static(self, governor_report):
+        assert governor_report.data["claims"][
+            "pipeline_matches_best_static"], (
+            "PipelinePolicy must match the best hand-tuned static "
+            "assignment's iteration time")
+
+    def test_transparent_keeps_budget_when_attainable(
+            self, governor_report):
+        budget = GovernorConfig().budget
+        pairs = governor_report.data["pairs"]
+        for label in ("cpu_int+ldint_mem", "cpu_int+cpu_fp"):
+            slowdown = pairs[label]["policies"]["transparent"][
+                "fg_slowdown"]
+            assert slowdown <= budget, (
+                f"transparent exceeded its {budget:.0%} foreground "
+                f"budget on {label}: {slowdown:.1%}")
+
+    def test_transparent_floors_background_when_unattainable(
+            self, governor_report):
+        # ldint_l2's slowdown is cache interference the decode-slot
+        # knob cannot remove; the policy's contract is then to keep
+        # the background at the minimum priority.
+        pol = governor_report.data["pairs"]["ldint_l2+ldint_mem"][
+            "policies"]["transparent"]
+        assert pol["final_priorities"][1] == GovernorConfig().min_priority
+
+    def test_decision_log_renderer(self, governor_report):
+        from repro.experiments.report import render_decision_log
+        pm = None
+        for pd in governor_report.data["pairs"].values():
+            assert pd["policies"]["ipc_balance"]["epochs"] > 0
+        text = render_decision_log(
+            (GovernorDecision(0, 500, (1.0, 0.1), (4, 4), (4, 5),
+                              "t1 lags", True),
+             GovernorDecision(1, 1000, (0.9, 0.2), (4, 5), (4, 5),
+                              "cooldown", False)))
+        assert "t1 lags" in text
+        assert "1 changes" in text
+
+
+# ----------------------------------------------------------------------
+# CLI wiring
+# ----------------------------------------------------------------------
+
+
+class TestCli:
+    def test_governor_flags_parse(self):
+        from repro.cli import build_parser
+        args = build_parser().parse_args(
+            ["table3", "--governor", "ipc_balance",
+             "--governor-epoch", "500"])
+        assert args.governor == "ipc_balance"
+        assert args.governor_epoch == 500
+
+    def test_governor_defaults_off(self):
+        from repro.cli import build_parser
+        args = build_parser().parse_args(["table3"])
+        assert args.governor is None
+        assert args.governor_epoch == 0
+
+    def test_unknown_policy_rejected(self, capsys):
+        from repro.cli import main
+        assert main(["table3", "--governor", "bogus"]) == 2
+        assert "unknown governor policy" in capsys.readouterr().err
+
+    def test_governed_pair_cells(self, config):
+        """--governor POLICY governs ordinary pair cells."""
+        ctx = ExperimentContext(config=config, max_cycles=150_000,
+                                governor="ipc_balance",
+                                governor_epoch=300)
+        pm = ctx.pair("cpu_int", "ldint_mem", (4, 4))
+        assert pm.policy == "ipc_balance"
+        assert pm.decisions
+        assert pm.final_priorities is not None
+
+
+class TestGovernedCells:
+    def test_params_in_cache_key(self):
+        a = governed_cell("a", "b", (4, 4), "transparent",
+                          {"st_ipc": 1.0})
+        b = governed_cell("a", "b", (4, 4), "transparent",
+                          {"st_ipc": 2.0})
+        assert a != b
+
+    def test_cell_carries_decisions(self, config):
+        ctx = ExperimentContext(config=config, max_cycles=150_000,
+                                governor_epoch=300)
+        pm = ctx.cell(governed_cell("cpu_int", "ldint_mem", (4, 4),
+                                    "ipc_balance"))
+        assert pm.policy == "ipc_balance"
+        assert pm.priorities == (4, 4)  # initial assignment
+        assert pm.decisions and pm.final_priorities is not None

@@ -1,0 +1,128 @@
+"""Differential validation of governed runs.
+
+A governor is a periodic hook plus sysfs writes, so governed runs must
+inherit both determinism guarantees of the simulator:
+
+- **engine bit-identity**: the event-driven fast-forward engine
+  produces results and decision logs byte-identical to the per-cycle
+  reference loop (the skip planner may never jump a governor epoch);
+- **process bit-identity**: governed sweep cells computed by worker
+  processes (``jobs > 1``) equal the serial in-process computation.
+
+Policies are pure state machines over their observations (no clocks,
+no randomness), which is what makes these comparisons exact.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import POWER5
+from repro.experiments import ExperimentContext, governed_cell
+from repro.fame import FameRunner
+from repro.governor import Governor, GovernorConfig, make_policy
+from repro.microbench import make_microbenchmark
+
+SECONDARY_BASE = (1 << 27) + 8192
+
+#: The epoch mandated for the differential matrix: short enough that
+#: fast-forward skips regularly collide with epoch boundaries.
+EPOCH = 200
+
+SCENARIOS = [
+    ("cpu_int", "ldint_mem", "ipc_balance", {}),
+    ("cpu_int", "cpu_fp", "throughput_max", {}),
+    ("ldint_l2", "ldint_mem", "transparent", {"st_ipc": 0.5}),
+]
+
+
+@pytest.fixture(scope="module")
+def configs():
+    fast = POWER5.small()
+    ref = dataclasses.replace(fast, fast_forward=False)
+    assert fast.fast_forward and not ref.fast_forward
+    return fast, ref
+
+
+def _governed_fame(config, primary, secondary, policy, params):
+    cfg = GovernorConfig(epoch=EPOCH)
+    gov = Governor(cfg, make_policy(policy, cfg, **params))
+    runner = FameRunner(config, min_repetitions=2, max_cycles=250_000)
+    fame = runner.run_pair(
+        make_microbenchmark(primary, config),
+        make_microbenchmark(secondary, config,
+                            base_address=SECONDARY_BASE),
+        priorities=(4, 4), governor=gov)
+    return fame, gov
+
+
+@pytest.mark.parametrize("primary,secondary,policy,params", SCENARIOS)
+def test_engine_bit_identity(configs, primary, secondary, policy,
+                             params):
+    """Governed FAME runs are bit-identical across engines."""
+    fast_cfg, ref_cfg = configs
+    fast, fast_gov = _governed_fame(fast_cfg, primary, secondary,
+                                    policy, params)
+    ref, ref_gov = _governed_fame(ref_cfg, primary, secondary,
+                                  policy, params)
+    assert fast_gov.decision_log() == ref_gov.decision_log()
+    assert fast_gov.final_priorities == ref_gov.final_priorities
+    assert fast == ref
+    # The differential proves nothing if the governor never acted.
+    assert ref_gov.applied_changes > 0
+
+
+def test_engine_bit_identity_pipeline(configs):
+    """The governed FFT/LU pipeline agrees across engine configs.
+
+    (The pipeline's rep gate already forces the reference loop; this
+    pins that a governed gated run cannot diverge either.)
+    """
+    from repro.governor import PipelinePolicy
+    from repro.workloads.pipeline import SoftwarePipeline
+
+    results = []
+    for config in configs:
+        cfg = GovernorConfig(epoch=EPOCH)
+        gov = Governor(cfg, PipelinePolicy(cfg))
+        pipe = SoftwarePipeline(config=config)
+        results.append(pipe.run(priorities=(4, 4), iterations=8,
+                                max_cycles=2_000_000, governor=gov))
+    assert results[0] == results[1]
+    assert results[0].decisions
+
+
+def test_serial_vs_parallel_governed_cells(config):
+    """Governed sweep cells are identical under jobs=1 and jobs=2."""
+    cells = [governed_cell(p, s, (4, 4), policy, params)
+             for p, s, policy, params in SCENARIOS]
+    kwargs = dict(config=config, min_repetitions=2,
+                  max_cycles=250_000, governor_epoch=EPOCH)
+    serial = ExperimentContext(jobs=1, **kwargs)
+    parallel = ExperimentContext(jobs=2, **kwargs)
+    serial.prefetch(cells)
+    parallel.prefetch(cells)
+    for cell in cells:
+        a, b = serial.cell(cell), parallel.cell(cell)
+        assert a == b, f"serial/parallel divergence for {cell}"
+        assert a.decisions == b.decisions
+    assert any(serial.cell(c).decisions for c in cells)
+
+
+def test_ctx_governor_serial_vs_parallel(config):
+    """--governor pair cells agree between jobs=1 and jobs=2 too."""
+    from repro.experiments.base import pair_cell
+    cells = [pair_cell("cpu_int", "ldint_mem", (4, 4)),
+             pair_cell("cpu_int", "cpu_fp", (4, 4))]
+    kwargs = dict(config=config, min_repetitions=2,
+                  max_cycles=200_000, governor="ipc_balance",
+                  governor_epoch=EPOCH)
+    serial = ExperimentContext(jobs=1, **kwargs)
+    parallel = ExperimentContext(jobs=2, **kwargs)
+    serial.prefetch(cells)
+    parallel.prefetch(cells)
+    for cell in cells:
+        assert serial.cell(cell) == parallel.cell(cell)
+        assert serial.cell(cell).policy == "ipc_balance"
