@@ -13,7 +13,6 @@ behaviour it is responsible for:
 
 import dataclasses
 
-import pytest
 
 from repro.config import POWER5
 from repro.fame import FameRunner

@@ -1,0 +1,7 @@
+"""Chip-level simulation: N SMT cores sharing the L2 and memory path."""
+
+from repro.chip.bus import BusChannel, CorePort, SharedChipBus
+from repro.chip.chip import Chip
+from repro.chip.config import ChipConfig
+
+__all__ = ["BusChannel", "Chip", "ChipConfig", "CorePort", "SharedChipBus"]

@@ -1,0 +1,122 @@
+"""The shared off-core paths of the chip: L2 fabric port + memory channel.
+
+Both are scheduled by *occupancy*, exactly like the per-core DRAM bus
+and functional-unit pools: a request wanting a path at cycle ``t``
+takes the earliest slot >= ``t`` that keeps all granted slots at least
+``gap`` cycles apart.  Grants are kept in chip-global time; each
+core's :class:`CorePort` translates between its core-local clock
+(which restarts at 0 on every :meth:`repro.core.SMTCore.load`) and the
+chip clock via a per-dispatch offset.
+
+This is where shared-L2 contention becomes *accounting*: every grant
+records which core (and hardware thread) waited how long, so schedule
+results can attribute makespan loss to cross-core interference rather
+than folding it invisibly into memory latency.
+"""
+
+from __future__ import annotations
+
+from repro.chip.config import ChipConfig
+
+
+class BusChannel:
+    """One gap-serialized chip-wide path with per-core wait accounting."""
+
+    __slots__ = ("gap", "_starts", "_floor", "grants", "wait_cycles")
+
+    def __init__(self, gap: int, n_cores: int):
+        self.gap = gap
+        # Start cycles of scheduled grants, chip-global time (pruned
+        # against the chip clock; bounded by in-flight misses).
+        self._starts: list[int] = []
+        self._floor = 0
+        # Per-core, per-hardware-thread grant and wait-cycle counts.
+        self.grants = [[0, 0] for _ in range(n_cores)]
+        self.wait_cycles = [[0, 0] for _ in range(n_cores)]
+
+    def grant(self, want: int, core_id: int, thread_id: int) -> int:
+        """Grant the earliest feasible slot >= ``want`` (global time)."""
+        gap = self.gap
+        self.grants[core_id][thread_id] += 1
+        if gap <= 0:
+            return want
+        starts = self._starts
+        if len(starts) > 64:
+            horizon = self._floor - gap
+            starts[:] = [s for s in starts if s > horizon]
+        t = want
+        moved = True
+        while moved:
+            moved = False
+            for s in starts:
+                if s - gap < t < s + gap:
+                    t = s + gap
+                    moved = True
+        starts.append(t)
+        self.wait_cycles[core_id][thread_id] += t - want
+        return t
+
+    def advance(self, now: int) -> None:
+        """Raise the pruning floor to the chip clock ``now``.
+
+        Every future request wants a slot at or after its core's
+        current cycle, which the chip steps in lockstep with ``now``,
+        so grants older than ``now - gap`` can never conflict again.
+        """
+        if now > self._floor:
+            self._floor = now
+
+    def core_grants(self, core_id: int) -> int:
+        """Total grants issued to ``core_id`` (both threads)."""
+        return self.grants[core_id][0] + self.grants[core_id][1]
+
+    def core_wait(self, core_id: int) -> int:
+        """Total cycles ``core_id`` waited for this path."""
+        return self.wait_cycles[core_id][0] + self.wait_cycles[core_id][1]
+
+
+class SharedChipBus:
+    """The chip's shared L2 fabric port and memory channel."""
+
+    def __init__(self, config: ChipConfig):
+        self.config = config
+        self.l2 = BusChannel(config.l2_slot_gap, config.n_cores)
+        self.mem = BusChannel(config.mem_slot_gap, config.n_cores)
+
+    def advance(self, now: int) -> None:
+        """Advance both channels' pruning floors to the chip clock."""
+        self.l2.advance(now)
+        self.mem.advance(now)
+
+    def core_stats(self, core_id: int) -> tuple[int, int, int, int]:
+        """(l2 grants, l2 wait, mem grants, mem wait) for one core."""
+        return (self.l2.core_grants(core_id), self.l2.core_wait(core_id),
+                self.mem.core_grants(core_id), self.mem.core_wait(core_id))
+
+
+class CorePort:
+    """One core's window onto the shared bus, in core-local time.
+
+    Installed as ``MemoryHierarchy.chip_port``; the hierarchy calls it
+    for every below-L1 access.  ``offset`` is the chip cycle at which
+    the core's current workload was loaded (core-local cycle 0), set by
+    :meth:`repro.chip.Chip.load_core` on every dispatch.
+    """
+
+    __slots__ = ("_l2", "_mem", "core_id", "offset")
+
+    def __init__(self, bus: SharedChipBus, core_id: int):
+        self._l2 = bus.l2
+        self._mem = bus.mem
+        self.core_id = core_id
+        self.offset = 0
+
+    def l2_grant(self, want: int, thread_id: int) -> int:
+        """Cross the chip's L2 fabric port (core-local cycles)."""
+        off = self.offset
+        return self._l2.grant(want + off, self.core_id, thread_id) - off
+
+    def mem_grant(self, want: int, thread_id: int) -> int:
+        """Cross the chip's memory channel (core-local cycles)."""
+        off = self.offset
+        return self._mem.grant(want + off, self.core_id, thread_id) - off

@@ -1,0 +1,75 @@
+"""Structural configuration of the multi-core POWER5 chip.
+
+A :class:`ChipConfig` wraps one :class:`repro.config.CoreConfig` (all
+cores of a chip are identical) with the chip-level parameters: the
+number of cores, the synchronization quantum of the chip-wide stepping
+loop, and the grant spacing of the two shared off-core paths -- the L2
+fabric port every below-L1 access crosses, and the memory channel that
+DRAM-bound misses additionally serialize on.
+
+The real POWER5 puts two 2-way SMT cores on one die behind a shared
+1.875 MiB L2 and a common fabric controller to L3/memory; the defaults
+model that topology.  ``n_cores=1`` degenerates to exactly the
+single-core simulator: no bus is built and no arbitration hook is
+installed, so a one-core chip is bit-identical to a bare
+:class:`repro.core.SMTCore` (asserted by the differential tests).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.config import CoreConfig, POWER5
+
+
+@dataclass(frozen=True)
+class ChipConfig:
+    """Complete configuration of an N-core chip."""
+
+    #: Per-core configuration (all cores identical, as on the die).
+    core: CoreConfig = field(default_factory=POWER5.small)
+    #: Number of SMT cores on the chip (POWER5: 2).
+    n_cores: int = 2
+    #: Cycles each core advances per chip-stepping round.  Cores only
+    #: interact through the shared bus, whose grants are scheduled by
+    #: occupancy (future-proof, like the DRAM bus), so the quantum
+    #: trades arbitration-order skew between cores for stepping
+    #: overhead -- it never changes a single core's own determinism.
+    sync_quantum: int = 512
+    #: Minimum cycles between chip-wide L2 fabric-port grants.  Every
+    #: below-L1 access of every core crosses this port; two cores
+    #: missing L1 concurrently queue behind one another here.
+    l2_slot_gap: int = 4
+    #: Minimum cycles between chip-wide memory-channel grants.  DRAM
+    #: accesses serialize here *in addition* to each core's own DRAM
+    #: bus, modelling the common fabric to memory.  The default equals
+    #: the per-core DRAM bus gap: two memory-bound cores see half the
+    #: chip's memory bandwidth each.
+    mem_slot_gap: int = 100
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1:
+            raise ValueError(f"n_cores must be >= 1, got {self.n_cores}")
+        if self.sync_quantum < 1:
+            raise ValueError(
+                f"sync_quantum must be >= 1, got {self.sync_quantum}")
+        if self.l2_slot_gap < 0 or self.mem_slot_gap < 0:
+            raise ValueError("bus slot gaps must be >= 0")
+
+    def replace(self, **changes) -> "ChipConfig":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+    def fingerprint(self) -> str:
+        """Stable short hash over chip and core parameters.
+
+        Like :meth:`CoreConfig.fingerprint`, the core's simulation
+        engine switch is normalized out -- it never changes simulated
+        behaviour.
+        """
+        canonical = (f"n={self.n_cores};q={self.sync_quantum};"
+                     f"l2={self.l2_slot_gap};mem={self.mem_slot_gap};"
+                     f"core={self.core.fingerprint()}")
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]

@@ -95,7 +95,68 @@ def build_parser() -> argparse.ArgumentParser:
         "--diff", type=int, default=0, metavar="D",
         help="'pmu' experiment: priority difference PrioP-PrioS "
              "(-5..5)")
+    chip = parser.add_argument_group("chip (multi-core scheduling)")
+    chip.add_argument(
+        "--chip-cores", type=int, default=2, metavar="N",
+        help="'chip' experiment: SMT cores on the simulated chip "
+             "(default 2, matching POWER5)")
+    chip.add_argument(
+        "--chip-quota", type=int, default=4, metavar="N",
+        help="'chip' experiment: job repetition-quota scale "
+             "(mix quotas are multiplied by N/4)")
+    chip.add_argument(
+        "--chip-governor", metavar="POLICY", default=None,
+        help="'chip' experiment: run each scheduled pair under a "
+             "per-core closed-loop governor (static, ipc_balance, "
+             "throughput_max)")
     return parser
+
+
+def _validate_args(args) -> str | None:
+    """Cross-option validation; returns an error message or None.
+
+    Everything here fails at parse time with a clear message instead
+    of mid-sweep inside a worker process (possibly after minutes of
+    simulation).
+    """
+    if args.governor is not None:
+        from repro.governor import POLICIES
+        if args.governor not in POLICIES:
+            return (f"unknown governor policy {args.governor!r}; "
+                    f"available: {', '.join(POLICIES)}")
+        if args.experiment == "chip":
+            return ("--governor applies to pair measurements, not "
+                    "chip runs; use --chip-governor for scheduled "
+                    "rounds")
+        if args.experiment == "pmu" and args.secondary in (None, "none"):
+            return ("--governor requires SMT2: a single-thread 'pmu' "
+                    "run (--secondary none) has no priority trade-off "
+                    "to govern")
+    if args.chip_governor is not None:
+        from repro.sched import CHIP_GOVERNOR_POLICIES
+        if args.chip_governor not in CHIP_GOVERNOR_POLICIES:
+            return (f"unknown chip governor policy "
+                    f"{args.chip_governor!r}; available: "
+                    f"{', '.join(CHIP_GOVERNOR_POLICIES)}")
+        if args.experiment not in ("chip", "all"):
+            return ("--chip-governor only applies to the 'chip' "
+                    "experiment")
+    if args.chip_cores < 1:
+        return f"--chip-cores must be >= 1, got {args.chip_cores}"
+    if args.chip_quota < 1:
+        return f"--chip-quota must be >= 1, got {args.chip_quota}"
+    if args.governor_epoch < 0:
+        return (f"--governor-epoch must be >= 0, got "
+                f"{args.governor_epoch}")
+    if (args.governor_epoch and args.governor is None
+            and args.chip_governor is None
+            and args.experiment not in ("governor", "all")):
+        return ("--governor-epoch is set but nothing consumes it: "
+                "select --governor or --chip-governor, or run the "
+                "'governor' experiment")
+    if args.pmu_sample and not (args.pmu or args.experiment == "pmu"):
+        return "--pmu-sample requires --pmu (or the 'pmu' experiment)"
+    return None
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -108,12 +169,10 @@ def main(argv: list[str] | None = None) -> int:
     config = POWER5.small() if args.preset == "small" else POWER5.default()
     if args.reference:
         config = dataclasses.replace(config, fast_forward=False)
-    if args.governor is not None:
-        from repro.governor import POLICIES
-        if args.governor not in POLICIES:
-            print(f"unknown governor policy {args.governor!r}; "
-                  f"available: {', '.join(POLICIES)}", file=sys.stderr)
-            return 2
+    error = _validate_args(args)
+    if error is not None:
+        print(error, file=sys.stderr)
+        return 2
     ctx = ExperimentContext(config=config,
                             min_repetitions=args.min_reps,
                             max_cycles=args.max_cycles,
@@ -121,7 +180,10 @@ def main(argv: list[str] | None = None) -> int:
                             pmu=args.pmu or args.experiment == "pmu",
                             pmu_sample=args.pmu_sample,
                             governor=args.governor,
-                            governor_epoch=args.governor_epoch)
+                            governor_epoch=args.governor_epoch,
+                            chip_cores=args.chip_cores,
+                            chip_quota=args.chip_quota,
+                            chip_governor=args.chip_governor)
     if args.experiment == "pmu":
         return _run_pmu(args, ctx)
     if args.experiment == "all":
@@ -144,6 +206,8 @@ def main(argv: list[str] | None = None) -> int:
         reports.append(report)
     if args.pmu:
         _print_pmu_appendix(args, ctx)
+    if "chip" in ids and (args.pmu or args.pmu_trace):
+        _export_scheduler_trace(args, ctx)
     if args.json:
         payload = [{"id": r.experiment_id, "title": r.title,
                     "paper_reference": r.paper_reference,
@@ -190,6 +254,23 @@ def _print_pmu_appendix(args, ctx: ExperimentContext) -> None:
               for stack in report.cpi_stacks()]
     print(render_cpi_stacks(stacks, title="PMU CPI stacks"))
     _export_pmu(labelled, args, default_stem=args.experiment)
+
+
+def _export_scheduler_trace(args, ctx: ExperimentContext) -> None:
+    """Chrome-trace export of the scheduler decisions of chip runs.
+
+    Written alongside (never instead of) the PMU trace: the scheduler
+    trace is chip-global time with per-core rows, a different document
+    than the per-measurement PMU trace.
+    """
+    from repro.experiments.chip import chip_schedule_results
+    from repro.pmu import write_scheduler_trace
+    labelled = chip_schedule_results(ctx)
+    if not labelled:
+        return
+    path = f"sched_{args.experiment}.trace.json"
+    count = write_scheduler_trace(path, labelled)
+    print(f"wrote {path} ({count} scheduler trace events)")
 
 
 def _export_pmu(labelled_reports, args, default_stem: str) -> None:

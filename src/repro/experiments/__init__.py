@@ -10,6 +10,13 @@ from repro.experiments.base import (
     priority_pair,
     single_cell,
 )
+from repro.experiments.chip import (
+    CHIP_MIXES,
+    CHIP_POLICIES,
+    chip_cell,
+    chip_schedule_results,
+    run_chip,
+)
 from repro.experiments.figure1 import run_figure1
 from repro.experiments.figure2 import run_figure2
 from repro.experiments.figure3 import run_figure3
@@ -58,6 +65,11 @@ __all__ = [
     "run_noise",
     "run_modelcheck",
     "run_governor",
+    "run_chip",
+    "CHIP_MIXES",
+    "CHIP_POLICIES",
+    "chip_cell",
+    "chip_schedule_results",
     "PrioritySweep",
     "SweepResult",
     "SweepPoint",

@@ -135,12 +135,64 @@ class ExperimentContext:
     governor: str | None = None
     #: Governor epoch in cycles (0 = the GovernorConfig default).
     governor_epoch: int = 0
+    #: Chip experiment knobs: number of SMT cores on the simulated
+    #: chip, repetition quota scale of scheduled jobs, and an optional
+    #: per-core governor policy for scheduled rounds.
+    chip_cores: int = 2
+    chip_quota: int = 4
+    chip_governor: str | None = None
     _cache: dict = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
+        self.validate()
         self.runner = FameRunner(
             self.config, min_repetitions=self.min_repetitions,
             maiv=self.maiv, max_cycles=self.max_cycles)
+        self._sampler = None
+
+    def validate(self) -> None:
+        """Reject inconsistent option combinations up front.
+
+        Called from ``__post_init__`` so a bad combination fails once,
+        at context construction (i.e. CLI parse time), with a clear
+        message -- not mid-sweep inside a worker process.
+        """
+        if self.governor is not None:
+            from repro.governor import POLICIES
+            if self.governor not in POLICIES:
+                raise ValueError(
+                    f"unknown governor policy {self.governor!r}; "
+                    f"choose from {sorted(POLICIES)}")
+        if self.chip_governor is not None:
+            from repro.sched import CHIP_GOVERNOR_POLICIES
+            if self.chip_governor not in CHIP_GOVERNOR_POLICIES:
+                raise ValueError(
+                    f"chip governor policy must be one of "
+                    f"{sorted(CHIP_GOVERNOR_POLICIES)} (parameter-free "
+                    f"policies), got {self.chip_governor!r}")
+        if self.chip_cores < 1:
+            raise ValueError(
+                f"chip_cores must be >= 1, got {self.chip_cores}")
+        if self.chip_quota < 1:
+            raise ValueError(
+                f"chip_quota must be >= 1, got {self.chip_quota}")
+        if self.pmu_sample and not self.pmu:
+            raise ValueError(
+                "pmu_sample requires the PMU to be enabled (pmu=True); "
+                "sampling without counters has nothing to record")
+        # governor_epoch without a context-wide policy stays legal:
+        # governed_cell and the 'governor' experiment consume the
+        # epoch with explicitly chosen policies.
+        if self.governor_epoch < 0:
+            raise ValueError(
+                f"governor_epoch must be >= 0, got {self.governor_epoch}")
+
+    def chip_sampler(self):
+        """The lazily built symbiosis sampler shared by chip cells."""
+        if self._sampler is None:
+            from repro.sched import SymbiosisSampler
+            self._sampler = SymbiosisSampler(self.config)
+        return self._sampler
 
     def _workload(self, name: str, base_address: int = 0):
         return cached_workload(name, self.config, base_address)
@@ -160,6 +212,9 @@ class ExperimentContext:
             fame = self.runner.run_single(self._workload(name), pmu=pmu)
             return _thread_metrics(fame.thread(0), name, 4,
                                    pmu=_pmu_report(pmu))
+        if kind == "chip":
+            from repro.experiments.chip import compute_chip_cell
+            return compute_chip_cell(self, key)
         if kind == "pair":
             _, primary, secondary, priorities = key
             governor = (self._make_governor(self.governor)

@@ -45,13 +45,25 @@ def default_jobs() -> int:
 def _init_worker(config, min_repetitions: int, maiv: float,
                  max_cycles: int, pmu: bool = False,
                  pmu_sample: int = 0, governor: str | None = None,
-                 governor_epoch: int = 0) -> None:
+                 governor_epoch: int = 0, chip_cores: int = 2,
+                 chip_quota: int = 4, chip_governor: str | None = None,
+                 schema_version: int | None = None) -> None:
     from repro.experiments.base import ExperimentContext
+    from repro.workloads.tracecache import SCHEMA_VERSION
+    if schema_version is not None and schema_version != SCHEMA_VERSION:
+        # The parent serialized cells under a different result schema
+        # than this worker's code produces; refusing up front beats
+        # silently merging incompatible values into the sweep cache.
+        raise RuntimeError(
+            f"result schema mismatch: coordinator v{schema_version}, "
+            f"worker v{SCHEMA_VERSION}")
     global _WORKER_CTX
     _WORKER_CTX = ExperimentContext(
         config=config, min_repetitions=min_repetitions, maiv=maiv,
         max_cycles=max_cycles, pmu=pmu, pmu_sample=pmu_sample,
-        governor=governor, governor_epoch=governor_epoch)
+        governor=governor, governor_epoch=governor_epoch,
+        chip_cores=chip_cores, chip_quota=chip_quota,
+        chip_governor=chip_governor)
 
 
 def _run_cell(key: Cell):
@@ -65,6 +77,7 @@ def compute_cells(ctx, keys: Iterable[Cell]) -> Iterator[tuple[Cell, object]]:
     its cache is *not* consulted here (the caller filters cached keys)
     and not written (the caller owns the merge).
     """
+    from repro.workloads.tracecache import SCHEMA_VERSION
     keys = list(keys)
     jobs = min(ctx.jobs if ctx.jobs > 0 else default_jobs(), len(keys))
     with ProcessPoolExecutor(
@@ -72,5 +85,7 @@ def compute_cells(ctx, keys: Iterable[Cell]) -> Iterator[tuple[Cell, object]]:
             initializer=_init_worker,
             initargs=(ctx.config, ctx.min_repetitions, ctx.maiv,
                       ctx.max_cycles, ctx.pmu, ctx.pmu_sample,
-                      ctx.governor, ctx.governor_epoch)) as pool:
+                      ctx.governor, ctx.governor_epoch,
+                      ctx.chip_cores, ctx.chip_quota, ctx.chip_governor,
+                      SCHEMA_VERSION)) as pool:
         yield from zip(keys, pool.map(_run_cell, keys))

@@ -5,6 +5,7 @@ from __future__ import annotations
 from collections.abc import Callable
 
 from repro.experiments.base import ExperimentContext
+from repro.experiments.chip import run_chip
 from repro.experiments.figure1 import run_figure1
 from repro.experiments.figure2 import run_figure2
 from repro.experiments.figure3 import run_figure3
@@ -36,6 +37,7 @@ EXPERIMENTS: dict[str, Callable[[ExperimentContext | None],
     "noise": run_noise,
     "modelcheck": run_modelcheck,
     "governor": run_governor,
+    "chip": run_chip,
 }
 
 

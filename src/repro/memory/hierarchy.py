@@ -51,6 +51,14 @@ class MemoryHierarchy:
         self.l3 = SetAssociativeCache(config.l3, "L3")
         self.lmq = LoadMissQueue(config.memory.lmq_entries)
         self.dram = DRAM(config.memory)
+        # Chip-level arbitration hook (repro.chip.CorePort): when this
+        # hierarchy belongs to a core of a multi-core Chip, below-L1
+        # accesses additionally cross the chip's shared L2 fabric port
+        # and DRAM-bound misses its shared memory channel.  None (the
+        # default, and always for a single-core chip) leaves the
+        # single-core timing untouched; the port survives reset() --
+        # the bus is a chip resource, not per-run core state.
+        self.chip_port = None
         # Per-thread count of loads serviced by each level (for the
         # balancer's L2-miss monitoring and for reports), and of
         # completed stores (for the PMU).
@@ -116,7 +124,12 @@ class MemoryHierarchy:
             duration = (self.config.memory.dram_latency
                         + self.config.memory.dram_bus_gap)
         start = self.lmq.acquire(want, now, thread_id, duration)
+        port = self.chip_port
+        if port is not None:
+            start = port.l2_grant(start, thread_id)
         if level is MemLevel.MEM:
+            if port is not None:
+                start = port.mem_grant(start, thread_id)
             complete = self.dram.access(start, now, thread_id)
         else:
             complete = start + duration
@@ -144,19 +157,27 @@ class MemoryHierarchy:
             self._l1_counts[thread_id] += 1
             return issue + lat + self._l1_latency
         want = issue + lat
+        port = self.chip_port
         if self.l2.access(addr, want, thread_id):
             duration = self._l2_latency
             start = self.lmq.acquire(want, now, thread_id, duration)
+            if port is not None:
+                start = port.l2_grant(start, thread_id)
             complete = start + duration
             self._l2_counts[thread_id] += 1
         elif self.l3.access(addr, want, thread_id):
             duration = self._l3_latency
             start = self.lmq.acquire(want, now, thread_id, duration)
+            if port is not None:
+                start = port.l2_grant(start, thread_id)
             complete = start + duration
             self._l3_counts[thread_id] += 1
         else:
             start = self.lmq.acquire(want, now, thread_id,
                                      self._mem_duration)
+            if port is not None:
+                start = port.l2_grant(start, thread_id)
+                start = port.mem_grant(start, thread_id)
             complete = self.dram.access(start, now, thread_id)
             self._mem_counts[thread_id] += 1
         self.lmq.fill(complete)

@@ -21,9 +21,12 @@ from repro.pmu.events import EVENT_INDEX, EVENT_NAMES, EVENTS, EventDef, event
 from repro.pmu.export import (
     chrome_trace,
     report_records,
+    scheduler_chrome_trace,
+    scheduler_trace_events,
     trace_events,
     write_chrome_trace,
     write_jsonl,
+    write_scheduler_trace,
 )
 from repro.pmu.monitor import FameSample, Pmu, PmuReport
 from repro.pmu.sampling import IntervalSampler, Sample
@@ -43,8 +46,11 @@ __all__ = [
     "PmuReport",
     "FameSample",
     "chrome_trace",
+    "scheduler_chrome_trace",
+    "scheduler_trace_events",
     "trace_events",
     "report_records",
     "write_chrome_trace",
     "write_jsonl",
+    "write_scheduler_trace",
 ]

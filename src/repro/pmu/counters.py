@@ -151,6 +151,30 @@ class CounterBank:
         return CounterBank(self.cycles - prev.cycles, self.priorities,
                            values)
 
+    def totals(self) -> dict[str, int]:
+        """Per-event t0+t1 sums, in registry order.
+
+        The core-level aggregate a chip-wide report sums over cores;
+        note ``PM_CYC`` counts per-thread, so a core's total is twice
+        its cycle count.
+        """
+        return {name: self._values[name][0] + self._values[name][1]
+                for name in EVENT_NAMES}
+
+    @staticmethod
+    def aggregate(banks) -> dict[str, int]:
+        """Chip-level totals: sum of :meth:`totals` over many banks.
+
+        Accepts any iterable of banks (e.g. one per dispatch round per
+        core) and returns zeros for an empty iterable, so callers can
+        aggregate a chip where some cores never ran a job.
+        """
+        out = {name: 0 for name in EVENT_NAMES}
+        for bank in banks:
+            for name, (t0, t1) in bank._values.items():
+                out[name] += t0 + t1
+        return out
+
     def rows(self) -> list[tuple[str, str, int, int]]:
         """(name, description, t0, t1) rows in registry order."""
         return [(e.name, e.description, *self._values[e.name])

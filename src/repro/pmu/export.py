@@ -168,6 +168,75 @@ def trace_events(report, pid: int = 0, label: str = "") -> list[dict]:
     return events
 
 
+def scheduler_trace_events(result, pid: int = 0,
+                           label: str = "") -> list[dict]:
+    """Chrome-trace events for one :class:`repro.sched.ScheduleResult`.
+
+    One trace *process* per schedule, one trace *thread* per hardware
+    thread of the chip (``tid = 2 * core + slot``), each job run a
+    duration slice in chip-global time, plus a dedicated scheduler
+    track (below the hardware threads) carrying every dispatch,
+    completion and cap decision as an instant event.
+    """
+    events: list[dict] = [{
+        "name": "process_name", "ph": "M", "ts": 0, "pid": pid, "tid": 0,
+        "args": {"name": label or f"{result.policy} on "
+                 f"{result.n_cores}-core chip"},
+    }]
+    named: set[int] = set()
+    for run in result.jobs:
+        tid = 2 * run.core_id + run.slot
+        if tid not in named:
+            named.add(tid)
+            events.append({
+                "name": "thread_name", "ph": "M", "ts": 0, "pid": pid,
+                "tid": tid,
+                "args": {"name": f"core{run.core_id} t{run.slot}"},
+            })
+        events.append({
+            "name": f"{run.name} prio {run.priority}", "ph": "X",
+            "ts": run.start_cycle, "dur": max(run.span_cycles, 1),
+            "pid": pid, "tid": tid,
+            "args": {"round": run.round, "repetitions": run.repetitions,
+                     "ipc": run.ipc, "background": run.background,
+                     "governor_changes": run.governor_changes,
+                     "final_priority": run.final_priority},
+        })
+    sched_tid = 2 * result.n_cores
+    events.append({
+        "name": "thread_name", "ph": "M", "ts": 0, "pid": pid,
+        "tid": sched_tid, "args": {"name": "scheduler"},
+    })
+    for d in result.decisions:
+        events.append({
+            "name": f"{d.action} {'+'.join(d.jobs)}", "ph": "i",
+            "ts": d.cycle, "pid": pid, "tid": sched_tid, "s": "t",
+            "args": {"core": d.core_id, "round": d.round,
+                     "priorities": list(d.priorities),
+                     "reason": d.reason},
+        })
+    return events
+
+
+def scheduler_chrome_trace(results_with_labels) -> dict:
+    """Chrome-trace document for ``(label, ScheduleResult)`` pairs."""
+    events: list[dict] = []
+    for pid, (label, result) in enumerate(results_with_labels):
+        events.extend(scheduler_trace_events(result, pid=pid,
+                                             label=label))
+    return {"traceEvents": events, "displayTimeUnit": "ms",
+            "otherData": {"generator": "repro.sched",
+                          "time_unit": "1us == 1 simulated cycle"}}
+
+
+def write_scheduler_trace(path, results_with_labels) -> int:
+    """Write a scheduler Chrome-trace JSON; returns the event count."""
+    doc = scheduler_chrome_trace(results_with_labels)
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+    return len(doc["traceEvents"])
+
+
 def chrome_trace(reports_with_labels) -> dict:
     """Assemble a complete Chrome-trace document.
 

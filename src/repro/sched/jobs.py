@@ -1,0 +1,83 @@
+"""Jobs: finite units of work the OS scheduler dispatches onto cores.
+
+The simulator's workload sources are *unbounded* -- they produce a
+repetition trace for any index, and FAME decides when enough have been
+measured.  An OS scheduler instead owns jobs of a fixed size, so
+:class:`BoundedSource` wraps any TraceSource and ends it after a quota
+of repetitions (returning the empty trace the hardware thread
+interprets as program exit).  :class:`JobRun` is the scheduler's
+per-job accounting record: where and when the job ran, at which SMT
+priority, and what it achieved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Job:
+    """One schedulable unit: a named workload run for ``repetitions``.
+
+    ``background`` marks jobs whose latency does not matter (the
+    paper's section 6.3 "transparent" use case): consolidation
+    policies may park them behind foreground work at priority 1.
+    """
+
+    name: str
+    repetitions: int = 4
+    background: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("job name must be non-empty")
+        if self.repetitions < 1:
+            raise ValueError(
+                f"job {self.name!r}: repetitions must be >= 1, "
+                f"got {self.repetitions}")
+
+
+class BoundedSource:
+    """A TraceSource that ends after a fixed number of repetitions."""
+
+    __slots__ = ("_source", "repetitions")
+
+    def __init__(self, source, repetitions: int):
+        if repetitions < 1:
+            raise ValueError("repetitions must be >= 1")
+        self._source = source
+        self.repetitions = repetitions
+
+    @property
+    def name(self) -> str:
+        return self._source.name
+
+    def repetition(self, rep_index: int):
+        if rep_index >= self.repetitions:
+            return ()
+        return self._source.repetition(rep_index)
+
+
+@dataclass(frozen=True)
+class JobRun:
+    """Completed execution of one :class:`Job` on the chip."""
+
+    name: str
+    background: bool
+    core_id: int
+    slot: int                 # hardware thread on that core (0 or 1)
+    round: int                # dispatch round index on that core
+    priority: int             # SMT priority the job was dispatched at
+    start_cycle: int          # chip cycle of dispatch
+    end_cycle: int            # chip cycle of the last completed repetition
+    retired: int              # instructions retired in complete reps
+    repetitions: int          # complete repetitions (== job quota unless capped)
+    ipc: float                # FAME steady-state IPC over the run
+    avg_rep_cycles: float     # average cycles per repetition
+    governor_changes: int = 0  # priority changes applied while running
+    final_priority: int | None = None  # priority when the round ended
+
+    @property
+    def span_cycles(self) -> int:
+        """Wall-clock chip cycles from dispatch to completion."""
+        return self.end_cycle - self.start_cycle

@@ -1,0 +1,101 @@
+"""Chip-wide kernel view: per-core patched kernels + CPU topology.
+
+On a dual-core POWER5 running the patched kernel, user space sees one
+sysfs tree for the whole machine: the CPU topology under
+``/sys/devices/system/cpu`` (each core's two hardware threads are two
+logical CPUs that are thread siblings) and one priority file per
+logical CPU under ``/sys/kernel/smt_priority/core<C>/thread<T>``.
+
+:class:`ChipKernel` models that: it owns one :class:`PatchedKernel`
+per core plus a chip-wide :class:`SysFS` whose priority files forward
+to the per-core kernels.  Because :meth:`repro.core.SMTCore.load`
+clears all hooks, the scheduler must call :meth:`attach` after every
+dispatch to re-install the core's timer hook and refresh the chip-wide
+files for that core.
+"""
+
+from __future__ import annotations
+
+from repro.syskernel.patched import PatchedKernel
+from repro.syskernel.sysfs import SysFS
+
+
+class ChipKernel:
+    """One patched kernel per core behind a single chip-wide sysfs."""
+
+    SYSFS_DIR = PatchedKernel.SYSFS_DIR
+    CPU_DIR = "/sys/devices/system/cpu"
+
+    def __init__(self, chip, timer_period: int | None = None):
+        self.chip = chip
+        self.sysfs = SysFS()
+        self._kernels = [PatchedKernel(timer_period)
+                         for _ in range(chip.n_cores)]
+        self._attached = [False] * chip.n_cores
+        self._register_topology()
+
+    def core_kernel(self, core_id: int) -> PatchedKernel:
+        """The per-core patched kernel for ``core_id``."""
+        return self._kernels[core_id]
+
+    def attach(self, core_id: int) -> PatchedKernel:
+        """(Re-)install the per-core kernel on its freshly loaded core.
+
+        Must be called after every ``Chip.load_core`` -- loading clears
+        the core's hooks, including the kernel timer.  Returns the
+        per-core kernel so callers (e.g. a governor) can share it.
+        """
+        core = self.chip.cores[core_id]
+        kernel = self._kernels[core_id]
+        kernel.install(core)
+        if not self._attached[core_id]:
+            # The chip-wide files close over the kernel + core objects,
+            # which are stable across dispatches, so registering once
+            # per core suffices.
+            for tid in (0, 1):
+                self.sysfs.register(
+                    f"{self.SYSFS_DIR}/core{core_id}/thread{tid}",
+                    read=self._chip_reader(core_id, tid),
+                    write=self._chip_writer(core_id, tid))
+            self._attached[core_id] = True
+        return kernel
+
+    def set_priority(self, core_id: int, thread_id: int,
+                     priority: int) -> None:
+        """Chip-wide privileged priority change on one hardware thread."""
+        self._kernels[core_id].set_priority(
+            self.chip.cores[core_id], thread_id, priority)
+
+    def _chip_reader(self, core_id: int, tid: int):
+        def read() -> str:
+            core = self.chip.cores[core_id]
+            return str(int(core.interface.priority(tid)))
+        return read
+
+    def _chip_writer(self, core_id: int, tid: int):
+        def write(value: str) -> None:
+            # Same validation/actuation path as the per-core file.
+            kernel = self._kernels[core_id]
+            writer = kernel._writer(self.chip.cores[core_id], tid)
+            writer(value)
+        return write
+
+    def _register_topology(self) -> None:
+        """Expose the chip topology the way Linux sysfs does.
+
+        Logical CPU ``k`` is hardware thread ``k % 2`` of core
+        ``k // 2``; the two threads of a core are thread siblings.
+        """
+        n_logical = 2 * self.chip.n_cores
+        self.sysfs.register(
+            f"{self.CPU_DIR}/online",
+            read=lambda n=n_logical: f"0-{n - 1}")
+        for cpu in range(n_logical):
+            core_id = cpu // 2
+            lo, hi = 2 * core_id, 2 * core_id + 1
+            self.sysfs.register(
+                f"{self.CPU_DIR}/cpu{cpu}/topology/core_id",
+                read=lambda c=core_id: str(c))
+            self.sysfs.register(
+                f"{self.CPU_DIR}/cpu{cpu}/topology/thread_siblings_list",
+                read=lambda a=lo, b=hi: f"{a}-{b}")

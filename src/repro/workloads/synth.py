@@ -10,7 +10,7 @@ instances calibrated to the single-thread IPCs the paper reports.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.config import POWER5, CoreConfig
 from repro.isa.builder import TraceBuilder

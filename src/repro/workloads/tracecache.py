@@ -22,7 +22,17 @@ from repro.microbench import make_microbenchmark
 from repro.workloads.spec import SPEC_PROFILES, make_spec_workload
 
 #: (name, base_address, config fingerprint) -> built TraceSource.
-_CACHE: dict[tuple[str, int, str], TraceSource] = {}
+#: Version of the cached-result schema.  Bump whenever the shape of
+#: what simulations produce from a cached source changes in a way that
+#: makes previously cached entries unusable (v1: single-core era;
+#: v2: chip era -- sources may be shared with multi-core runs whose
+#: address layout conventions differ from the single-core sweep).  The
+#: version is the *first* component of every cache key, so entries
+#: written under any other version can never be served: a lookup under
+#: the current version cannot collide with them.
+SCHEMA_VERSION = 2
+
+_CACHE: dict[tuple[int, str, int, str], TraceSource] = {}
 
 #: Cache-effectiveness counters (inspectable; see :func:`cache_info`).
 _HITS = 0
@@ -38,7 +48,7 @@ def cached_workload(name: str, config: CoreConfig,
     layer's ad-hoc construction did before memoisation.
     """
     global _HITS, _MISSES
-    key = (name, base_address, config.fingerprint())
+    key = (SCHEMA_VERSION, name, base_address, config.fingerprint())
     source = _CACHE.get(key)
     if source is not None:
         _HITS += 1

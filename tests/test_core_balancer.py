@@ -2,9 +2,8 @@
 
 import dataclasses
 
-import pytest
 
-from repro.config import BalancerConfig, POWER5
+from repro.config import BalancerConfig
 from repro.core import ResourceBalancer, SMTCore
 from repro.isa import FixedTraceSource, TraceBuilder
 

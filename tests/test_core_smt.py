@@ -2,13 +2,11 @@
 
 import pytest
 
-from repro.config import POWER5
 from repro.core import SMTCore
 from repro.isa import (
     FixedTraceSource,
     Trace,
     TraceBuilder,
-    encode_priority_nop,
     fx,
 )
 from repro.priority.levels import PrivilegeLevel

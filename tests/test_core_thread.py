@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import SMTCore
 from repro.core.thread import HardwareThread, InflightGroup
-from repro.isa import FixedTraceSource, Trace, TraceBuilder, fx
+from repro.isa import FixedTraceSource, Trace, fx
 
 
 def small_source(n=8, name="s"):

@@ -12,7 +12,6 @@ import dataclasses
 
 import pytest
 
-from repro.config import POWER5
 from repro.core import SMTCore
 from repro.experiments import ExperimentContext, governed_cell
 from repro.fame import FameRunner
@@ -442,7 +441,6 @@ class TestGovernorExperiment:
 
     def test_decision_log_renderer(self, governor_report):
         from repro.experiments.report import render_decision_log
-        pm = None
         for pd in governor_report.data["pairs"].values():
             assert pd["policies"]["ipc_balance"]["epochs"] > 0
         text = render_decision_log(

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.config import POWER5
 from repro.memory import MemLevel, MemoryHierarchy
 
 
@@ -83,7 +82,6 @@ class TestSharing:
     def test_lmq_shared_between_threads(self, hier, config):
         # Saturate the LMQ with thread 0 misses; thread 1's miss waits.
         entries = config.memory.lmq_entries
-        span = config.l1d.num_sets * config.l1d.line_bytes
         for i in range(entries):
             hier.load((i + 1) * (1 << 22), 0, thread_id=0)
         before = hier.lmq.total_wait_cycles

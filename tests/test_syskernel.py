@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import SMTCore
 from repro.isa import FixedTraceSource, TraceBuilder
-from repro.priority.levels import PriorityLevel, PrivilegeLevel
+from repro.priority.levels import PriorityLevel
 from repro.syskernel import (
     Hypervisor,
     HypervisorError,

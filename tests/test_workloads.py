@@ -1,6 +1,5 @@
 """Tests for the case-study workloads: FFT, LU, SPEC models, pipeline."""
 
-import math
 
 import numpy as np
 import pytest
