@@ -35,13 +35,25 @@ import platform
 import time
 
 from repro.config import POWER5
-from repro.experiments import EXPERIMENTS, ExperimentContext, run_experiment
+from repro.experiments import EXPERIMENTS, ExperimentContext, run_many
 from repro.fame import FameRunner
 from repro.microbench import make_microbenchmark
 from repro.workloads.tracecache import clear_cache
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 SECONDARY_BASE = (1 << 27) + 8192
+
+#: Best-of-N repeats per scenario measurement (``BENCH_REPEATS``
+#: overrides).  The per-scenario engine-floor gate below compares two
+#: wall clocks on what may be a busy single-core host; the minimum of
+#: a few runs is the closest observable to the noise-free cost.
+REPEATS = int(os.environ.get("BENCH_REPEATS", "3"))
+
+#: Hard floor on per-scenario engine speedup (fast-forward vs
+#: reference): the event-driven engine may be a hair slower on dense
+#: dispatch phases it cannot skip, but anything below this means the
+#: planner/gating overhead regressed.
+ENGINE_FLOOR = 0.95
 
 #: (label, (primary, secondary-or-None), priorities)
 SCENARIOS = (
@@ -52,19 +64,32 @@ SCENARIOS = (
 )
 
 
-def _measure_scenario(config, names, priorities):
+def _measure_scenario(config, names, priorities, repeats=None):
+    """Best-of-N wall clock of one scenario under ``config``."""
     runner = FameRunner(config, min_repetitions=3, max_cycles=1_500_000)
     primary = make_microbenchmark(names[0], config)
-    if names[1] is None:
-        start = time.perf_counter()
-        fame = runner.run_single(primary)
-    else:
-        secondary = make_microbenchmark(names[1], config,
-                                        base_address=SECONDARY_BASE)
-        start = time.perf_counter()
-        fame = runner.run_pair(primary, secondary, priorities=priorities)
-    wall = time.perf_counter() - start
-    cycles = fame.result.cycles
+    secondary = (None if names[1] is None
+                 else make_microbenchmark(names[1], config,
+                                          base_address=SECONDARY_BASE))
+
+    def run():
+        if secondary is None:
+            start = time.perf_counter()
+            fame = runner.run_single(primary)
+        else:
+            start = time.perf_counter()
+            fame = runner.run_pair(primary, secondary,
+                                   priorities=priorities)
+        return time.perf_counter() - start, fame.result.cycles
+
+    walls = []
+    cycles = None
+    for _ in range(repeats or REPEATS):
+        wall, simulated = run()
+        walls.append(wall)
+        assert cycles is None or cycles == simulated  # deterministic
+        cycles = simulated
+    wall = min(walls)
     return {
         "simulated_cycles": cycles,
         "wall_s": round(wall, 4),
@@ -161,8 +186,7 @@ def _measure_suite(config, jobs):
     ctx = ExperimentContext(config=config, min_repetitions=3,
                             max_cycles=2_500_000, jobs=jobs)
     start = time.perf_counter()
-    for exp_id in EXPERIMENTS:
-        run_experiment(exp_id, ctx)
+    run_many(list(EXPERIMENTS), ctx)  # planner path, like the CLI
     wall = time.perf_counter() - start
     return {"wall_s": round(wall, 2), "jobs": jobs,
             "cells": ctx.cached_runs()}
@@ -218,6 +242,10 @@ def test_bench_perf_writes_simcore_json():
     gate = _comparable(prior, payload)
     payload["pmu"]["baseline_gate_ran"] = gate
     payload["governor"]["baseline_gate_ran"] = gate
+    if prior and "simcache" in prior:
+        # The result-cache bench (test_bench_simcache.py) owns this
+        # section via read-modify-write; keep it across rewrites.
+        payload["simcache"] = prior["simcache"]
     out.write_text(json.dumps(payload, indent=2) + "\n")
 
     # Sanity floor, deliberately loose: on a single, possibly noisy
@@ -225,6 +253,14 @@ def test_bench_perf_writes_simcore_json():
     # under both engines and the engines must agree cycle-for-cycle.
     assert suite["speedup_engine"] > 0.5
     assert all(s["speedup"] is not None for s in scenarios.values())
+
+    # Per-scenario engine floor: the fast-forward engine must stay
+    # within 5% of the reference even on scenarios it cannot skip
+    # (best-of-N on both sides keeps host noise out of the ratio).
+    for label, s in scenarios.items():
+        assert s["speedup"] >= ENGINE_FLOOR, (
+            f"{label}: fast-forward engine at {s['speedup']:.3f}x of "
+            f"reference, below the {ENGINE_FLOOR} floor")
 
     # PMU-off regression gate: with the PMU detached, the always-on
     # raw counters are the only cost the subsystem adds to the hot

@@ -10,6 +10,9 @@ Usage::
     power5-repro pmu --primary cpu_int --secondary ldint_mem --diff 4
     power5-repro governor --jobs 4
     power5-repro table3 --governor ipc_balance --governor-epoch 500
+    power5-repro all --no-simcache      # force fresh simulation
+    power5-repro cache                  # cache statistics
+    power5-repro cache --clear          # purge cached results
     python -m repro figure5 --json results.json
 """
 
@@ -34,8 +37,9 @@ def build_parser() -> argparse.ArgumentParser:
                     "Processor' (ISCA 2008) on the simulator.")
     parser.add_argument(
         "experiment",
-        help="experiment id (see 'list'), or 'all', 'list', or 'pmu' "
-             "(instrument one workload pair with the emulated PMU)")
+        help="experiment id (see 'list'), or 'all', 'list', 'cache' "
+             "(cache statistics / maintenance), or 'pmu' (instrument "
+             "one workload pair with the emulated PMU)")
     parser.add_argument(
         "--preset", choices=("small", "default"), default="small",
         help="machine preset: 'small' (scaled caches, fast; default) "
@@ -57,6 +61,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--json", metavar="PATH",
         help="also dump experiment data as JSON to PATH")
+    cache = parser.add_argument_group("result cache")
+    cache.add_argument(
+        "--simcache", action=argparse.BooleanOptionalAction,
+        default=True,
+        help="persistent on-disk memoisation of measurement cells; "
+             "cached and fresh runs are bit-identical "
+             "(--no-simcache forces fresh simulation)")
+    cache.add_argument(
+        "--simcache-dir", metavar="PATH", default=None,
+        help="result-cache directory (default: "
+             "$POWER5_SIMCACHE_DIR or ~/.cache/power5-repro/simcache)")
+    cache.add_argument(
+        "--clear", action="store_true",
+        help="'cache' subcommand: delete all cached results")
     gov = parser.add_argument_group("governor (closed-loop priorities)")
     gov.add_argument(
         "--governor", metavar="POLICY", default=None,
@@ -166,6 +184,8 @@ def main(argv: list[str] | None = None) -> int:
         for exp_id in EXPERIMENTS:
             print(exp_id)
         return 0
+    if args.experiment == "cache":
+        return _run_cache(args)
     config = POWER5.small() if args.preset == "small" else POWER5.default()
     if args.reference:
         config = dataclasses.replace(config, fast_forward=False)
@@ -173,6 +193,10 @@ def main(argv: list[str] | None = None) -> int:
     if error is not None:
         print(error, file=sys.stderr)
         return 2
+    simcache = None
+    if args.simcache:
+        from repro.simcache import SimCache
+        simcache = SimCache(args.simcache_dir)
     ctx = ExperimentContext(config=config,
                             min_repetitions=args.min_reps,
                             max_cycles=args.max_cycles,
@@ -183,7 +207,8 @@ def main(argv: list[str] | None = None) -> int:
                             governor_epoch=args.governor_epoch,
                             chip_cores=args.chip_cores,
                             chip_quota=args.chip_quota,
-                            chip_governor=args.chip_governor)
+                            chip_governor=args.chip_governor,
+                            simcache=simcache)
     if args.experiment == "pmu":
         return _run_pmu(args, ctx)
     if args.experiment == "all":
@@ -196,6 +221,17 @@ def main(argv: list[str] | None = None) -> int:
               f"(or 'all', 'list', 'pmu')",
               file=sys.stderr)
         return 2
+    if len(ids) > 1:
+        # Cross-experiment planning: measure the deduplicated union of
+        # every cell up front (one batch, one worker pool); the
+        # per-experiment prefetches below then find everything cached.
+        from repro.experiments.planner import prefetch_all
+        start = time.time()
+        plan = prefetch_all(ctx, ids)
+        print(f"planned {plan['cells']} unique cells across "
+              f"{len(plan['experiments'])} experiments, "
+              f"simulated {plan['simulated']} "
+              f"[{time.time() - start:.1f}s]\n")
     reports = []
     for exp_id in ids:
         start = time.time()
@@ -204,6 +240,13 @@ def main(argv: list[str] | None = None) -> int:
         print(report)
         print(f"   [{elapsed:.1f}s, {ctx.cached_runs()} cached runs]\n")
         reports.append(report)
+    if simcache is not None and (simcache.hits or simcache.misses):
+        stats = simcache.stats()
+        print(f"result cache: {stats['hits']} hits, "
+              f"{stats['misses']} misses, {stats['stores']} stored "
+              f"({stats['entries']} entries, "
+              f"{stats['bytes'] / 1e6:.1f} MB on disk)")
+        simcache.flush_stats()
     if args.pmu:
         _print_pmu_appendix(args, ctx)
     if "chip" in ids and (args.pmu or args.pmu_trace):
@@ -215,6 +258,39 @@ def main(argv: list[str] | None = None) -> int:
         with open(args.json, "w") as fh:
             json.dump(payload, fh, indent=2)
         print(f"wrote {args.json}")
+    return 0
+
+
+def _run_cache(args) -> int:
+    """The 'cache' subcommand: statistics and maintenance.
+
+    Reports both caching layers: the persistent result cache (on
+    disk, shared across invocations) and the in-process trace cache
+    (per-process memoisation of workload construction -- its counters
+    are only meaningful inside a run, so a fresh CLI process reports
+    zeros).  ``--clear`` purges both; clearing is always safe, costing
+    only recomputation.
+    """
+    from repro.simcache import SimCache
+    from repro.workloads import tracecache
+    cache = SimCache(args.simcache_dir)
+    if args.clear:
+        removed = cache.clear()
+        tracecache.clear_cache()
+        print(f"cleared {removed} cached results from {cache.root}")
+        return 0
+    stats = cache.stats()
+    totals = cache.persistent_stats()
+    lookups = totals["hits"] + totals["misses"]
+    rate = f"{100 * totals['hits'] / lookups:.1f}%" if lookups else "n/a"
+    print(f"result cache: {stats['dir']}")
+    print(f"  entries: {stats['entries']} "
+          f"({stats['bytes'] / 1e6:.1f} MB)")
+    print(f"  lifetime: {totals['hits']} hits / {lookups} lookups "
+          f"({rate} hit rate), {totals['stores']} stores")
+    info = tracecache.cache_info()
+    print(f"trace cache (in-process): {info['entries']} entries, "
+          f"{info['hits']} hits, {info['misses']} misses")
     return 0
 
 

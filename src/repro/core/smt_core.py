@@ -67,6 +67,13 @@ _OP_BRANCH = int(OpClass.BRANCH)
 _OP_NOP = int(OpClass.NOP)
 _OP_PRIO = int(OpClass.PRIO_NOP)
 
+#: Cycles the fast-forward planner stays vetoed after an unproductive
+#: attempt.  Dense dispatch phases re-check only once per veto window
+#: instead of every no-dispatch cycle; kept short (tuned against
+#: BENCH_simcore.json) so memory-bound phases whose stalls begin right
+#: after a failed attempt lose at most this many skippable cycles.
+_PLAN_VETO_CYCLES = 8
+
 #: A repetition gate: ``gate(thread_id, rep_index, now)`` -> may start.
 RepGate = Callable[[int, int, int], bool]
 
@@ -256,6 +263,16 @@ class SMTCore:
         now = self._cycle
         end = now + cycles
         next_gc = now + 1024
+        # Planner back-off: after an unproductive fast-forward attempt
+        # (dense-thread suppression, or a planner call that found the
+        # very next cycle eventful) the machine is in a phase where no
+        # skippable span exists, and re-evaluating the gate every
+        # no-dispatch cycle costs more than the per-cycle body itself.
+        # Veto planning for a few cycles instead; suppression is always
+        # safe because the per-cycle body *is* the reference behaviour,
+        # and a successful skip keeps the veto at zero so skip-rich
+        # phases (DRAM-bound spans) are planned at full rate.
+        plan_veto = 0
         while now < end:
             if now >= next_gc:
                 self.fus.collect(now)
@@ -399,13 +416,13 @@ class SMTCore:
 
             # -- fast-forward over provably-uneventful cycles ----------
             if fast and not dispatched and now < end:
+                if plan_veto:
+                    plan_veto -= 1
                 # Cheap gate before the exact planner: when a thread
                 # whose slots are *dense* (next owned slot at most a
                 # few cycles away) is ready to decode, any skip would
-                # be shorter than the planning cost.  Suppressing the
-                # planner is always safe -- the per-cycle body is the
-                # reference behaviour.
-                if not (self._gct_used < gct_groups
+                # be shorter than the planning cost.
+                elif (self._gct_used < gct_groups
                         and ((dense_a is not None and not dense_a.finished
                               and dense_a.stall_until <= now
                               and not dense_a.balancer_stalled
@@ -415,10 +432,14 @@ class SMTCore:
                                  and dense_b.stall_until <= now
                                  and not dense_b.balancer_stalled
                                  and not dense_b.throttled))):
+                    plan_veto = _PLAN_VETO_CYCLES
+                else:
                     target = self._skip_target(now, end, prio_p, prio_s)
                     if target > now:
                         self._account_skip(now, target)
                         now = target
+                    else:
+                        plan_veto = _PLAN_VETO_CYCLES
 
         self._cycle = now
         return cycles

@@ -26,7 +26,12 @@ from repro.experiments.figure6 import run_figure6
 from repro.experiments.governor import run_governor
 from repro.experiments.modelcheck import run_modelcheck
 from repro.experiments.noise import run_noise
-from repro.experiments.registry import EXPERIMENTS, run_all, run_experiment
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    run_all,
+    run_experiment,
+    run_many,
+)
 from repro.experiments.sweep import PrioritySweep, SweepPoint, SweepResult
 from repro.experiments.report import (
     ExperimentReport,
@@ -51,6 +56,7 @@ __all__ = [
     "render_decision_log",
     "EXPERIMENTS",
     "run_experiment",
+    "run_many",
     "run_all",
     "run_table1",
     "run_table3",

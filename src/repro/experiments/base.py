@@ -141,6 +141,13 @@ class ExperimentContext:
     chip_cores: int = 2
     chip_quota: int = 4
     chip_governor: str | None = None
+    #: Optional :class:`repro.simcache.SimCache`: persistent, on-disk
+    #: memoisation of cell values across processes and invocations.
+    #: ``None`` (the default) keeps memoisation purely in-memory; the
+    #: CLI enables the disk cache unless ``--no-simcache``.  Cached and
+    #: freshly simulated cells are bit-identical (differential-tested),
+    #: so enabling it never changes a reported number.
+    simcache: object = field(default=None, repr=False)
     _cache: dict = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
@@ -264,47 +271,119 @@ class ExperimentContext:
         config = GovernorConfig(**kwargs)
         return Governor(config, make_policy(policy, config, **params))
 
-    def prefetch(self, cells) -> int:
-        """Ensure every cell in ``cells`` is measured; returns #computed.
+    def _simcache_key(self, key: tuple) -> tuple:
+        """The persistent-cache key of a cell.
 
-        Uncached cells are simulated -- in parallel worker processes
-        when ``jobs`` allows -- and merged into the cache in input
-        order, so subsequent :meth:`single`/:meth:`pair` calls are
-        cache hits.  Experiments call this with their full cell list
+        Prefixed by the trace-cache schema version and the result
+        format version (so entries from other code eras can never be
+        served), then every input the cell's value is a function of:
+        the engine-normalized config fingerprint, the engine flag
+        itself (flipping engines must miss -- the differential tests
+        rely on recomputation), the runner parameters, the
+        instrumentation and policy knobs *relevant to this cell kind*,
+        the cell key, and a content fingerprint per workload trace.
+        Scoping the policy knobs per kind keeps e.g. chip flags from
+        invalidating pair sweeps.
+        """
+        from repro.simcache import RESULT_VERSION, workload_fingerprint
+        from repro.workloads.tracecache import SCHEMA_VERSION
+        kind = key[0]
+        runner = self.runner
+        if kind == "single":
+            scope: tuple = ()
+            fps = (workload_fingerprint(key[1], self.config),)
+        elif kind == "pair":
+            scope = (self.governor, self.governor_epoch)
+            fps = (workload_fingerprint(key[1], self.config),
+                   workload_fingerprint(key[2], self.config,
+                                        SECONDARY_BASE))
+        elif kind == "governed":
+            scope = (self.governor_epoch,)
+            fps = (workload_fingerprint(key[1], self.config),
+                   workload_fingerprint(key[2], self.config,
+                                        SECONDARY_BASE))
+        elif kind == "chip":
+            from repro.experiments.chip import CHIP_MIXES
+            scope = (self.chip_governor, self.governor_epoch)
+            names = sorted({name for name, _, _ in CHIP_MIXES[key[1]]})
+            fps = tuple(workload_fingerprint(name, self.config)
+                        for name in names)
+        else:
+            raise ValueError(f"unknown cell kind in key: {key!r}")
+        return (SCHEMA_VERSION, RESULT_VERSION,
+                self.config.fingerprint(),
+                ("engine", self.config.fast_forward),
+                (self.min_repetitions, runner.max_repetitions,
+                 self.maiv, self.max_cycles, runner.chunk,
+                 runner.warmup),
+                (self.pmu, self.pmu_sample),
+                scope, key, fps)
+
+    def _simcache_lookup(self, key: tuple):
+        if self.simcache is None:
+            return None
+        value = self.simcache.lookup(self._simcache_key(key))
+        return None if self.simcache.is_miss(value) else value
+
+    def _simcache_store(self, key: tuple, value) -> None:
+        if self.simcache is not None:
+            self.simcache.store(self._simcache_key(key), value)
+
+    def prefetch(self, cells) -> int:
+        """Ensure every cell in ``cells`` is measured; returns #simulated.
+
+        Cells absent from the in-memory cache are first looked up in
+        the persistent result cache (when enabled); the remainder are
+        simulated -- in parallel worker processes when ``jobs`` allows
+        -- persisted, and merged into the cache in input order, so
+        subsequent :meth:`single`/:meth:`pair` calls are hits and the
+        cache fills identically regardless of ``jobs`` or cache
+        temperature.  Experiments call this with their full cell list
         up front; with ``jobs=1`` it degrades to the serial behaviour.
         """
         todo = [k for k in dict.fromkeys(cells) if k not in self._cache]
         if not todo:
             return 0
-        if (self.jobs == 1 or len(todo) == 1):
-            for key in todo:
-                self._cache[key] = self.compute_cell(key)
-        else:
-            from repro.experiments.parallel import compute_cells
-            for key, value in compute_cells(self, todo):
-                self._cache[key] = value
-        return len(todo)
+        resolved: dict = {}
+        missing = []
+        for key in todo:
+            value = self._simcache_lookup(key)
+            if value is None:
+                missing.append(key)
+            else:
+                resolved[key] = value
+        if missing:
+            if self.jobs == 1 or len(missing) == 1:
+                for key in missing:
+                    resolved[key] = self.compute_cell(key)
+                    self._simcache_store(key, resolved[key])
+            else:
+                from repro.experiments.parallel import compute_cells
+                for key, value in compute_cells(self, missing):
+                    resolved[key] = value
+                    self._simcache_store(key, value)
+        for key in todo:
+            self._cache[key] = resolved[key]
+        return len(missing)
 
     def cell(self, key: tuple):
         """The metrics of an arbitrary cell key (memoised)."""
         if key not in self._cache:
-            self._cache[key] = self.compute_cell(key)
+            value = self._simcache_lookup(key)
+            if value is None:
+                value = self.compute_cell(key)
+                self._simcache_store(key, value)
+            self._cache[key] = value
         return self._cache[key]
 
     def single(self, name: str) -> ThreadMetrics:
         """Single-thread-mode measurement (memoised)."""
-        key = ("single", name)
-        if key not in self._cache:
-            self._cache[key] = self.compute_cell(key)
-        return self._cache[key]
+        return self.cell(("single", name))
 
     def pair(self, primary: str, secondary: str,
              priorities: tuple[int, int]) -> PairMetrics:
         """Co-scheduled measurement at fixed priorities (memoised)."""
-        key = ("pair", primary, secondary, priorities)
-        if key not in self._cache:
-            self._cache[key] = self.compute_cell(key)
-        return self._cache[key]
+        return self.cell(("pair", primary, secondary, priorities))
 
     def pair_at_diff(self, primary: str, secondary: str,
                      diff: int) -> PairMetrics:

@@ -104,6 +104,22 @@ def chip_schedule_results(ctx: ExperimentContext
     return out
 
 
+def cells(ctx: ExperimentContext,
+          mixes: tuple = tuple(CHIP_MIXES),
+          policies: tuple = CHIP_POLICIES) -> list:
+    """Every measurement cell this experiment consumes.
+
+    ``ctx`` supplies the chip knobs (core count, quota) baked into the
+    chip cell keys; the cells themselves do not depend on any measured
+    result.
+    """
+    names = sorted({name for mix in mixes
+                    for name, _, _ in CHIP_MIXES[mix]})
+    return ([single_cell(name) for name in names]
+            + [chip_cell(mix, pol, ctx.chip_cores, ctx.chip_quota)
+               for mix in mixes for pol in policies])
+
+
 def run_chip(ctx: ExperimentContext | None = None,
              mixes: tuple = tuple(CHIP_MIXES),
              policies: tuple = CHIP_POLICIES) -> ExperimentReport:
@@ -111,14 +127,9 @@ def run_chip(ctx: ExperimentContext | None = None,
     ctx = ctx or ExperimentContext()
     n_cores, quota = ctx.chip_cores, ctx.chip_quota
 
-    # Single-thread solo baselines (per-job slowdown denominators),
-    # then the chip runs themselves -- one prefetch each, so chip
-    # cells parallelize across workers like any other sweep.
-    names = sorted({name for mix in mixes
-                    for name, _, _ in CHIP_MIXES[mix]})
-    ctx.prefetch([single_cell(name) for name in names])
-    ctx.prefetch([chip_cell(mix, pol, n_cores, quota)
-                  for mix in mixes for pol in policies])
+    # Solo baselines + chip runs in one prefetch, so chip cells
+    # parallelize across workers like any other sweep.
+    ctx.prefetch(cells(ctx, mixes, policies))
 
     sections = []
     data: dict = {"n_cores": n_cores, "quota": quota,

@@ -18,15 +18,21 @@ from repro.microbench import EVALUATED_BENCHMARKS
 POSITIVE_DIFFS = (1, 2, 3, 4, 5)
 
 
+def cells(benchmarks: tuple[str, ...] = EVALUATED_BENCHMARKS,
+          diffs: tuple[int, ...] = POSITIVE_DIFFS) -> list:
+    """Every measurement cell this experiment consumes."""
+    return [pair_cell(p, s, priority_pair(d))
+            for p in benchmarks for s in benchmarks
+            for d in (0,) + tuple(diffs)]
+
+
 def run_figure2(ctx: ExperimentContext | None = None,
                 benchmarks: tuple[str, ...] = EVALUATED_BENCHMARKS,
                 diffs: tuple[int, ...] = POSITIVE_DIFFS,
                 ) -> ExperimentReport:
     """Measure the positive-priority speedup curves."""
     ctx = ctx or ExperimentContext()
-    ctx.prefetch(pair_cell(p, s, priority_pair(d))
-                 for p in benchmarks for s in benchmarks
-                 for d in (0,) + tuple(diffs))
+    ctx.prefetch(cells(benchmarks, diffs))
     data: dict = {}
     lines = []
     for primary in benchmarks:

@@ -18,15 +18,21 @@ from repro.microbench import EVALUATED_BENCHMARKS
 THROUGHPUT_DIFFS = (4, 3, 2, 1, 0, -1, -2, -3, -4)
 
 
+def cells(benchmarks: tuple[str, ...] = EVALUATED_BENCHMARKS,
+          diffs: tuple[int, ...] = THROUGHPUT_DIFFS) -> list:
+    """Every measurement cell this experiment consumes."""
+    return [pair_cell(p, s, priority_pair(d))
+            for p in benchmarks for s in benchmarks
+            for d in (0,) + tuple(diffs)]
+
+
 def run_figure4(ctx: ExperimentContext | None = None,
                 benchmarks: tuple[str, ...] = EVALUATED_BENCHMARKS,
                 diffs: tuple[int, ...] = THROUGHPUT_DIFFS,
                 ) -> ExperimentReport:
     """Measure relative throughput across priority differences."""
     ctx = ctx or ExperimentContext()
-    ctx.prefetch(pair_cell(p, s, priority_pair(d))
-                 for p in benchmarks for s in benchmarks
-                 for d in (0,) + tuple(diffs))
+    ctx.prefetch(cells(benchmarks, diffs))
     data: dict = {}
     lines = []
     for primary in benchmarks:

@@ -18,14 +18,20 @@ from repro.workloads.spec import CASE_STUDY_PAIRS
 CASE_DIFFS = (0, 1, 2, 3, 4, 5)
 
 
+def cells(pairs: tuple[tuple[str, str], ...] = CASE_STUDY_PAIRS,
+          diffs: tuple[int, ...] = CASE_DIFFS) -> list:
+    """Every measurement cell this experiment consumes."""
+    return [pair_cell(p, s, priority_pair(d))
+            for p, s in pairs for d in diffs]
+
+
 def run_figure5(ctx: ExperimentContext | None = None,
                 pairs: tuple[tuple[str, str], ...] = CASE_STUDY_PAIRS,
                 diffs: tuple[int, ...] = CASE_DIFFS,
                 ) -> ExperimentReport:
     """Sweep the case-study pairs over positive priorities."""
     ctx = ctx or ExperimentContext()
-    ctx.prefetch(pair_cell(p, s, priority_pair(d))
-                 for p, s in pairs for d in diffs)
+    ctx.prefetch(cells(pairs, diffs))
     data: dict = {}
     sections = []
     for primary, secondary in pairs:

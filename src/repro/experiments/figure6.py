@@ -33,19 +33,24 @@ PANEL_C_FOREGROUNDS = ("ldint_l2", "cpu_fp", "lng_chain_cpuint",
 WORST_BACKGROUND = "ldint_mem"
 
 
+def cells(benchmarks: tuple[str, ...] = EVALUATED_BENCHMARKS) -> list:
+    """Every measurement cell this experiment consumes."""
+    out = [single_cell(fg) for fg in benchmarks]
+    out += [pair_cell(fg, bg, (fg_prio, 1))
+            for fg_prio in FOREGROUND_PRIORITIES
+            for fg in benchmarks for bg in benchmarks]
+    out += [pair_cell(fg, WORST_BACKGROUND, (fg_prio, 1))
+            for fg in PANEL_C_FOREGROUNDS
+            for fg_prio in PANEL_C_PRIORITIES]
+    return out
+
+
 def run_figure6(ctx: ExperimentContext | None = None,
                 benchmarks: tuple[str, ...] = EVALUATED_BENCHMARKS,
                 ) -> ExperimentReport:
     """Measure all four transparent-execution panels."""
     ctx = ctx or ExperimentContext()
-    cells = [single_cell(fg) for fg in benchmarks]
-    cells += [pair_cell(fg, bg, (fg_prio, 1))
-              for fg_prio in FOREGROUND_PRIORITIES
-              for fg in benchmarks for bg in benchmarks]
-    cells += [pair_cell(fg, WORST_BACKGROUND, (fg_prio, 1))
-              for fg in PANEL_C_FOREGROUNDS
-              for fg_prio in PANEL_C_PRIORITIES]
-    ctx.prefetch(cells)
+    ctx.prefetch(cells(benchmarks))
     data: dict = {"ab": {}, "c": {}, "d": {}}
     sections = []
 

@@ -76,6 +76,36 @@ def _min_ipc(pm) -> float:
     return min(pm.primary.ipc, pm.secondary.ipc)
 
 
+def static_cells(pairs: tuple = GOVERNOR_PAIRS) -> list:
+    """Phase-1 cells: single-thread references + the static ladder.
+
+    These have context-independent keys; the governed cells do not
+    (see :func:`governed_cells`), which is why the planner runs this
+    experiment's prefetch in two phases.
+    """
+    names = sorted({name for pair in pairs for name in pair})
+    return ([single_cell(name) for name in names]
+            + [pair_cell(primary, secondary, prio)
+               for primary, secondary in pairs
+               for prio in STATIC_LADDER])
+
+
+def governed_cells(ctx: ExperimentContext,
+                   pairs: tuple = GOVERNOR_PAIRS,
+                   policies: tuple = PAIR_POLICIES) -> list:
+    """Phase-2 cells: the governed runs.
+
+    The transparent policy's cell key embeds the foreground's
+    single-thread IPC (its budget parameter), so the singles of
+    :func:`static_cells` must be measured before these keys can even
+    be constructed.
+    """
+    return [governed_cell(primary, secondary, INITIAL, policy,
+                          _policy_params(ctx, policy, primary))
+            for primary, secondary in pairs
+            for policy in policies]
+
+
 def run_governor(ctx: ExperimentContext | None = None,
                  pairs: tuple = GOVERNOR_PAIRS,
                  policies: tuple = PAIR_POLICIES,
@@ -84,21 +114,11 @@ def run_governor(ctx: ExperimentContext | None = None,
     ctx = ctx or ExperimentContext()
 
     # Single-thread references first (the transparent policy's budget
-    # is defined against the foreground's unimpeded performance).
-    names = sorted({name for pair in pairs for name in pair})
-    ctx.prefetch([single_cell(name) for name in names])
-
-    # One prefetch for everything else: static ladder + governed runs,
+    # is defined against the foreground's unimpeded performance), then
+    # one prefetch for everything else: static ladder + governed runs,
     # parallelizable across worker processes like any other sweep.
-    cells = []
-    for primary, secondary in pairs:
-        cells += [pair_cell(primary, secondary, prio)
-                  for prio in STATIC_LADDER]
-        for policy in policies:
-            cells.append(governed_cell(
-                primary, secondary, INITIAL, policy,
-                _policy_params(ctx, policy, primary)))
-    ctx.prefetch(cells)
+    ctx.prefetch(static_cells(pairs))
+    ctx.prefetch(governed_cells(ctx, pairs, policies))
 
     sections = []
     data: dict = {"pairs": {}, "claims": {}}

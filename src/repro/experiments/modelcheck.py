@@ -38,16 +38,22 @@ def fit_thread_model(ctx: ExperimentContext, name: str,
                        dataflow_ipc=st)
 
 
+def cells(benchmarks: tuple[str, ...] = BENCHMARKS,
+          partner: str = "cpu_fp") -> list:
+    """Every measurement cell this experiment consumes."""
+    return ([single_cell(n) for n in benchmarks + (partner,)]
+            + [pair_cell(partner, partner, priority_pair(-4))]
+            + [pair_cell(n, partner, priority_pair(d))
+               for n in benchmarks for d in DIFFS])
+
+
 def run_modelcheck(ctx: ExperimentContext | None = None,
                    benchmarks: tuple[str, ...] = BENCHMARKS,
                    ) -> ExperimentReport:
     """Compare model predictions with simulator measurements."""
     ctx = ctx or ExperimentContext()
     partner = "cpu_fp"
-    ctx.prefetch([single_cell(n) for n in benchmarks + (partner,)]
-                 + [pair_cell(partner, partner, priority_pair(-4))]
-                 + [pair_cell(n, partner, priority_pair(d))
-                    for n in benchmarks for d in DIFFS])
+    ctx.prefetch(cells(benchmarks, partner))
     partner_model = fit_thread_model(ctx, partner)
     rows = []
     data = {}

@@ -47,8 +47,10 @@ def _init_worker(config, min_repetitions: int, maiv: float,
                  pmu_sample: int = 0, governor: str | None = None,
                  governor_epoch: int = 0, chip_cores: int = 2,
                  chip_quota: int = 4, chip_governor: str | None = None,
-                 schema_version: int | None = None) -> None:
+                 schema_version: int | None = None,
+                 result_version: int | None = None) -> None:
     from repro.experiments.base import ExperimentContext
+    from repro.simcache import RESULT_VERSION
     from repro.workloads.tracecache import SCHEMA_VERSION
     if schema_version is not None and schema_version != SCHEMA_VERSION:
         # The parent serialized cells under a different result schema
@@ -57,6 +59,14 @@ def _init_worker(config, min_repetitions: int, maiv: float,
         raise RuntimeError(
             f"result schema mismatch: coordinator v{schema_version}, "
             f"worker v{SCHEMA_VERSION}")
+    if result_version is not None and result_version != RESULT_VERSION:
+        # Same handshake for the persistent result cache's value
+        # format: the coordinator persists what workers return, so a
+        # worker producing a different format would poison the disk
+        # cache for every later invocation.
+        raise RuntimeError(
+            f"result format mismatch: coordinator v{result_version}, "
+            f"worker v{RESULT_VERSION}")
     global _WORKER_CTX
     _WORKER_CTX = ExperimentContext(
         config=config, min_repetitions=min_repetitions, maiv=maiv,
@@ -77,6 +87,7 @@ def compute_cells(ctx, keys: Iterable[Cell]) -> Iterator[tuple[Cell, object]]:
     its cache is *not* consulted here (the caller filters cached keys)
     and not written (the caller owns the merge).
     """
+    from repro.simcache import RESULT_VERSION
     from repro.workloads.tracecache import SCHEMA_VERSION
     keys = list(keys)
     jobs = min(ctx.jobs if ctx.jobs > 0 else default_jobs(), len(keys))
@@ -87,5 +98,5 @@ def compute_cells(ctx, keys: Iterable[Cell]) -> Iterator[tuple[Cell, object]]:
                       ctx.max_cycles, ctx.pmu, ctx.pmu_sample,
                       ctx.governor, ctx.governor_epoch,
                       ctx.chip_cores, ctx.chip_quota, ctx.chip_governor,
-                      SCHEMA_VERSION)) as pool:
+                      SCHEMA_VERSION, RESULT_VERSION)) as pool:
         yield from zip(keys, pool.map(_run_cell, keys))

@@ -45,14 +45,19 @@ PAPER_TABLE3 = {
 }
 
 
+def cells(benchmarks: tuple[str, ...] = EVALUATED_BENCHMARKS) -> list:
+    """Every measurement cell this experiment consumes."""
+    return ([single_cell(p) for p in benchmarks]
+            + [pair_cell(p, s, (4, 4))
+               for p in benchmarks for s in benchmarks])
+
+
 def run_table3(ctx: ExperimentContext | None = None,
                benchmarks: tuple[str, ...] = EVALUATED_BENCHMARKS,
                ) -> ExperimentReport:
     """Measure the full ST + pairwise-(4,4) IPC matrix."""
     ctx = ctx or ExperimentContext()
-    ctx.prefetch([single_cell(p) for p in benchmarks]
-                 + [pair_cell(p, s, (4, 4))
-                    for p in benchmarks for s in benchmarks])
+    ctx.prefetch(cells(benchmarks))
     data: dict = {"st": {}, "pairs": {}}
     rows = []
     for primary in benchmarks:

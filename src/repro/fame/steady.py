@@ -1,0 +1,297 @@
+"""FAME steady-state fast-forward (repetition telescoping).
+
+On a deterministic simulator a single-thread FAME measurement settles
+into an exactly periodic regime: once caches and the branch predictor
+are warm, every further repetition retires the same instructions in
+the same number of cycles.  Simulating those repetitions one by one
+only re-derives numbers that are already known, so the runner can
+*telescope* them: detect the period, verify it by simulating two more
+repetitions and comparing every architectural counter delta, then
+close-form the remaining accumulated-IPC/MAIV trajectory to find the
+exact cycle at which the replay loop would have stopped.
+
+Exactness contract (differential-tested against full replay for every
+micro-benchmark):
+
+- ``repetitions``, ``rep_end_times``, ``rep_end_retired`` -- and hence
+  the accumulated-IPC series, ``ipc`` and ``avg_repetition_cycles`` --
+  are bit-identical to the replay loop's;
+- ``cycles``, ``capped`` and the convergence flags are bit-identical
+  (the close-form scan replicates the replay loop's chunk-boundary
+  convergence checks, including the ``max_cycles`` cap);
+- the remaining raw counters (``retired``, slot accounting, ...) are
+  extrapolated to the last repetition boundary at the verification
+  snapshot's phase: deterministic and internally consistent (all
+  partition identities are preserved), but they may differ from replay
+  by a sub-repetition amount, because replay stops mid-repetition at a
+  chunk boundary.  Nothing windowed reads them; instrumented (PMU)
+  runs never fast-forward, so PMU differentials are unaffected.
+
+Safety: every cycle that *is* simulated here is stepped through the
+normal engine at chunk-aligned boundaries with the same convergence
+checks the replay loop performs, so a failed or abandoned detection
+leaves the measurement exactly on the replay path.
+"""
+
+from __future__ import annotations
+
+from repro.core import CoreResult, SMTCore, ThreadResult
+from repro.priority.arbiter import ArbiterMode
+
+#: ThreadResult counter fields extrapolated per repetition.
+_COUNTER_FIELDS = (
+    "retired", "mispredicts", "flushes", "owned_slots", "wasted_slots",
+    "slots_lost_gct", "decoded", "groups_dispatched", "slots_lost_stall",
+    "slots_lost_balancer", "slots_lost_throttle", "slots_lost_other",
+    "operand_wait_cycles", "fu_wait_cycles", "flushed_instructions",
+    "priority_changes",
+)
+
+#: Consecutive identical repetition deltas required before a period
+#: candidate is verified (the verification adds two more on top).
+_DETECT_REPS = 3
+
+#: Minimum repetitions the close-form must stand to save before the
+#: two-repetition verification cost is worth paying.
+_MIN_PROFIT_REPS = 3
+
+
+class SteadyStateFastForward:
+    """Per-run steady-state detector/synthesizer for ``FameRunner``.
+
+    One instance drives one single-thread measurement; the runner calls
+    :meth:`attempt` at every chunk boundary where the measurement has
+    not converged yet.  ``attempt`` returns a complete
+    :class:`~repro.fame.runner.FameResult` when it either synthesized
+    the remaining trajectory or hit natural convergence while verifying
+    a candidate period, and ``None`` when the replay loop should simply
+    continue.  ``engaged`` records whether the result was synthesized.
+    """
+
+    def __init__(self, runner) -> None:
+        self.runner = runner
+        self.disabled = False
+        self.engaged = False
+        self._failed_at_reps = -1
+
+    # -- detection ------------------------------------------------------
+
+    def attempt(self, core: SMTCore):
+        th = core.thread(0)
+        if th.finished:
+            self.disabled = True
+            return None
+        ends = th.rep_end_times
+        n = len(ends)
+        if n < _DETECT_REPS + 1 or n <= self._failed_at_reps + 1:
+            return None
+        rets = th.rep_end_retired
+        period = ends[-1] - ends[-2]
+        dr = rets[-1] - rets[-2]
+        for i in range(2, _DETECT_REPS + 1):
+            if (ends[-i] - ends[-i - 1] != period
+                    or rets[-i] - rets[-i - 1] != dr):
+                return None
+        if period <= 0:
+            self.disabled = True
+            return None
+        runner = self.runner
+        # Only the single-thread arbiter is phase-free: every cycle
+        # belongs to the one thread, so a time-shift by any period
+        # preserves slot ownership.  Low-power decode pacing would
+        # additionally require period alignment; those runs just
+        # replay.
+        if core._arbiter.mode is not ArbiterMode.SINGLE_THREAD:
+            self.disabled = True
+            return None
+        # Profitability: verification simulates two repetitions, so at
+        # least _MIN_PROFIT_REPS must remain to close-form.  A run past
+        # its repetition floor but still MAIV-unconverged has an
+        # unbounded tail -- always worth telescoping.
+        reps = len(ends)
+        to_floor = runner.min_repetitions - reps
+        if to_floor < _MIN_PROFIT_REPS and reps < runner.min_repetitions + 4:
+            return None
+        # Stay clear of the cycle budget: the replay loop would stop
+        # within the cycles the verification itself needs.
+        if core.cycle + 2 * period + runner.chunk > runner.max_cycles:
+            self.disabled = True
+            return None
+        return self._verify(core, th, period, dr)
+
+    # -- verification ---------------------------------------------------
+
+    def _verify(self, core: SMTCore, th, period: int, dr: int):
+        """Simulate two candidate periods, replaying boundary checks.
+
+        The core is stepped in sub-chunks that land on every multiple
+        of the runner chunk (state evolution is chunk-size invariant,
+        which the engine differential tests assert), and the runner's
+        convergence check runs at each boundary exactly as the replay
+        loop would -- natural convergence inside the verification
+        window returns the genuine replay result.
+        """
+        runner = self.runner
+        chunk = runner.chunk
+        sig0 = _signature(core, th)
+        start = core.cycle
+        sigs = []
+        for target in (start + period, start + 2 * period):
+            now = core.cycle
+            while now < target:
+                boundary = (now // chunk + 1) * chunk
+                step_to = min(boundary, target)
+                core.step(step_to - now)
+                now = step_to
+                if (now % chunk == 0
+                        and runner._thread_converged(core, 0)):
+                    return runner._finish(core, [0])
+            sigs.append(_signature(core, th))
+        if not _periodic(sig0, sigs[0], sigs[1]):
+            self._failed_at_reps = len(th.rep_end_times)
+            return self._realign(core)
+        deltas = tuple(b - a for a, b in zip(sigs[0][0], sigs[1][0]))
+        return self._synthesize(core, th, period, dr, sigs[1][0], deltas)
+
+    def _realign(self, core: SMTCore):
+        """Step back onto a chunk boundary after a failed verification.
+
+        Keeps the replay loop's convergence checks happening at exactly
+        the cycles they would have without the detour.
+        """
+        runner = self.runner
+        chunk = runner.chunk
+        over = core.cycle % chunk
+        if over:
+            core.step(chunk - over)
+            if runner._thread_converged(core, 0):
+                return runner._finish(core, [0])
+        return None
+
+    # -- synthesis ------------------------------------------------------
+
+    def _synthesize(self, core: SMTCore, th, period: int, dr: int,
+                    counters2, deltas):
+        """Close-form the remaining trajectory from a verified period."""
+        runner = self.runner
+        chunk = runner.chunk
+        ends = list(th.rep_end_times)
+        rets = list(th.rep_end_retired)
+        n2 = len(ends)
+        e2, r2 = ends[-1], rets[-1]
+
+        def reps_at(cycle: int) -> int:
+            # Repetition ends recorded strictly before the boundary
+            # cycle: at a boundary the core has simulated cycles
+            # [0, boundary), so an end landing exactly on it has not
+            # happened yet.
+            return n2 + max(0, (cycle - 1 - e2) // period)
+
+        def acc(j: int) -> float:
+            # Accumulated IPC after j complete repetitions.
+            if j <= n2:
+                return rets[j - 1] / ends[j - 1] if ends[j - 1] else 0.0
+            end = e2 + (j - n2) * period
+            return (r2 + (j - n2) * dr) / end
+
+        def converged_at(j: int) -> bool:
+            # Mirrors FameRunner._thread_converged + maiv_converged
+            # (window=2) on the synthetic series.
+            if j < runner.min_repetitions:
+                return False
+            if j >= runner.max_repetitions:
+                return True
+            if j < 3:
+                return False
+            prev2, prev1, cur = acc(j - 2), acc(j - 1), acc(j)
+            if not prev1 or not cur:
+                return False
+            if abs(prev1 - prev2) / prev1 >= runner.maiv:
+                return False
+            return abs(cur - prev1) / cur < runner.maiv
+
+        m = core.cycle // chunk + 1
+        while True:
+            boundary = m * chunk
+            reps = reps_at(boundary)
+            converged = converged_at(reps)
+            if converged or boundary >= runner.max_cycles:
+                break
+            m += 1
+
+        final_reps = reps_at(boundary)
+        extra = final_reps - n2
+        ends.extend(e2 + k * period for k in range(1, extra + 1))
+        rets.extend(r2 + k * dr for k in range(1, extra + 1))
+        counters = {field: value + extra * delta
+                    for field, value, delta in zip(
+                        _COUNTER_FIELDS, counters2, deltas)}
+        prio_p, prio_s = core.priorities
+        thread = ThreadResult(
+            warmup=runner.warmup,
+            thread_id=th.thread_id,
+            workload=th.source.name,
+            priority=(prio_p, prio_s)[th.thread_id],
+            cycles=boundary,
+            repetitions=final_reps,
+            rep_end_times=tuple(ends),
+            rep_end_retired=tuple(rets),
+            **counters)
+        result = CoreResult(cycles=boundary,
+                            priorities=(prio_p, prio_s),
+                            threads=(thread,))
+        self.engaged = True
+        from repro.fame.runner import FameResult
+        return FameResult(result=result,
+                          converged=(converged_at(final_reps),),
+                          capped=boundary >= runner.max_cycles)
+
+
+def _signature(core: SMTCore, th):
+    """(counters, counter-values-for-delta, phase) state signature.
+
+    The first two tuples are monotone counters (compared as deltas
+    across periods); the phase tuple is machine state expressed
+    relative to the current cycle (compared for equality) -- trace
+    position, in-flight groups, register/stall timers and the shared
+    memory-system counters that would expose any aperiodic cache or
+    DRAM behaviour.
+    """
+    now = core.cycle
+    counters = tuple(getattr(th, f) for f in _COUNTER_FIELDS)
+    hier = core.hierarchy
+    extra = (len(th.rep_end_times),
+             th.rep_end_times[-1] if th.rep_end_times else 0,
+             th.rep_end_retired[-1] if th.rep_end_retired else 0,
+             th.rep_index,
+             *(c for counts in hier.level_counts.values() for c in counts),
+             *hier.store_counts,
+             hier.dram.accesses)
+    phase = (now - (th.rep_end_times[-1] if th.rep_end_times else 0),
+             th.pos,
+             th.gated,
+             th.balancer_stalled,
+             th.throttled,
+             th.gct_held,
+             max(th.stall_until - now, 0),
+             tuple(max(r - now, 0) for r in th.reg_ready),
+             tuple((g.completion - now, g.count, g.rep_done)
+                   for g in th.inflight),
+             core.priorities)
+    return counters, extra, phase
+
+
+def _periodic(sig0, sig1, sig2) -> bool:
+    """True when two periods produced identical deltas and phases."""
+    c0, e0, p0 = sig0
+    c1, e1, p1 = sig1
+    c2, e2, p2 = sig2
+    if p0 != p1 or p1 != p2:
+        return False
+    if any(b - a != c - b for a, b, c in zip(c0, c1, c2)):
+        return False
+    if any(b - a != c - b for a, b, c in zip(e0, e1, e2)):
+        return False
+    # Exactly one repetition per period, advancing by the candidate
+    # stride (index 0 of the extra tuple is the repetition count).
+    return e1[0] - e0[0] == 1

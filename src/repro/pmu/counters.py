@@ -135,6 +135,15 @@ class CounterBank:
         """Rebuild a bank from :meth:`as_tuple` output."""
         return cls(cycles, priorities, {name: tuple(v) for name, v in data})
 
+    def __reduce__(self):
+        # Serialize through the canonical tuple form rather than the
+        # default slots protocol: banks ride inside PmuReports across
+        # worker processes and into the persistent result cache, and
+        # the canonical form keeps that byte stream independent of the
+        # in-memory dict layout (insertion order, future slot changes).
+        return (CounterBank.from_tuple,
+                (self.cycles, self.priorities, self.as_tuple()))
+
     def delta(self, prev: "CounterBank") -> "CounterBank":
         """The counting since ``prev``: elementwise ``self - prev``.
 

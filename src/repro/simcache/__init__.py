@@ -1,0 +1,15 @@
+"""Persistent simulation result cache (see :mod:`repro.simcache.store`)."""
+
+from repro.simcache.store import (
+    RESULT_VERSION,
+    SimCache,
+    default_cache_dir,
+    workload_fingerprint,
+)
+
+__all__ = [
+    "RESULT_VERSION",
+    "SimCache",
+    "default_cache_dir",
+    "workload_fingerprint",
+]

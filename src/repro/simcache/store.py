@@ -1,0 +1,237 @@
+"""Persistent, on-disk memoisation of simulated measurement cells.
+
+Every measurement cell -- one (workloads, priorities, policy)
+combination driven to FAME convergence -- is a pure function of the
+machine configuration, the runner parameters and the workload traces.
+The in-memory cache on :class:`~repro.experiments.base.ExperimentContext`
+already deduplicates cells *within* one process; this store extends
+that across processes and invocations, so re-running a sweep (or
+iterating on the governor/chip experiments) pays only for cells whose
+inputs actually changed.
+
+Keying follows the trace cache's discipline
+(:mod:`repro.workloads.tracecache`): the first key components are the
+trace-cache ``SCHEMA_VERSION`` and this store's :data:`RESULT_VERSION`,
+so entries written under any other code era can never be served.  The
+remaining components -- config fingerprint, engine flag, runner
+parameters, instrumentation flags, the cell key itself and a content
+fingerprint per workload trace -- are assembled by the experiment
+layer (``ExperimentContext._simcache_key``).  Workers never touch the
+store: the coordinator filters hits before dispatching a sweep and
+persists results after the merge, so the existing worker schema
+handshake guards everything that reaches disk.
+
+Entries are one pickle file per cell, named by the SHA-256 of the key
+and written atomically (temp file + ``os.replace``).  A corrupt,
+truncated or colliding file is treated as a miss and rewritten.  The
+cache must never break a run: all I/O failures degrade to
+recomputation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import pickle
+
+#: Version of the stored result format.  Bump whenever the shape of
+#: cached values (ThreadMetrics/PairMetrics/ScheduleResult or anything
+#: riding on them, e.g. PMU counter banks) changes incompatibly.
+RESULT_VERSION = 1
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "POWER5_SIMCACHE_DIR"
+
+#: In-process memo of workload content fingerprints.
+_FP_CACHE: dict[tuple, str] = {}
+
+#: Sentinel distinguishing "miss" from a legitimately falsy value.
+_MISS = object()
+
+
+def default_cache_dir() -> pathlib.Path:
+    """The result-cache directory (honours ``POWER5_SIMCACHE_DIR``)."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return pathlib.Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = pathlib.Path(xdg) if xdg else pathlib.Path.home() / ".cache"
+    return base / "power5-repro" / "simcache"
+
+
+def workload_fingerprint(name: str, config, base_address: int = 0) -> str:
+    """Content hash of a workload's trace under ``config``.
+
+    Hashes the actual instruction sequences (repetitions 0 and 1 --
+    cold and steady), not the generator's name: editing a workload
+    definition changes the fingerprint and therefore misses the result
+    cache, even though the name and config are unchanged.  Memoised
+    per (schema, name, base, config) beside the trace cache.
+    """
+    from repro.workloads.tracecache import SCHEMA_VERSION, cached_workload
+    key = (SCHEMA_VERSION, name, base_address, config.fingerprint())
+    fp = _FP_CACHE.get(key)
+    if fp is None:
+        source = cached_workload(name, config, base_address)
+        digest = hashlib.sha256(repr(key).encode())
+        for rep in (0, 1):
+            digest.update(repr(tuple(source.repetition(rep))).encode())
+        fp = digest.hexdigest()[:16]
+        _FP_CACHE[key] = fp
+    return fp
+
+
+class SimCache:
+    """On-disk result store with in-process hit/miss accounting."""
+
+    def __init__(self, root: os.PathLike | str | None = None) -> None:
+        self.root = pathlib.Path(root) if root else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, key: tuple) -> pathlib.Path:
+        digest = hashlib.sha256(repr(key).encode()).hexdigest()
+        return self.root / f"{digest}.pkl"
+
+    def lookup(self, key: tuple):
+        """The cached value for ``key``, or the module's miss sentinel.
+
+        Compare the return value against :data:`_MISS` via
+        :meth:`is_miss`; anything else is a cache hit.
+        """
+        try:
+            blob = self._path(key).read_bytes()
+        except OSError:
+            self.misses += 1
+            return _MISS
+        try:
+            stored_key, value = pickle.loads(blob)
+        except Exception:
+            # Truncated/corrupt entry (e.g. an interrupted writer on a
+            # filesystem without atomic replace): recompute and let
+            # store() overwrite it.
+            self.misses += 1
+            return _MISS
+        if stored_key != key:
+            # SHA-256 collision or a tampered file; either way the
+            # entry is not the requested cell.
+            self.misses += 1
+            return _MISS
+        self.hits += 1
+        return value
+
+    @staticmethod
+    def is_miss(value) -> bool:
+        """True when :meth:`lookup` found nothing usable."""
+        return value is _MISS
+
+    def store(self, key: tuple, value) -> None:
+        """Persist ``value`` under ``key`` (atomic, best-effort).
+
+        The full key rides inside the pickle so :meth:`lookup` can
+        verify it; I/O errors are swallowed -- a read-only or full
+        disk only costs future recomputation.
+        """
+        path = self._path(key)
+        tmp = path.with_name(f"{path.stem}.tmp{os.getpid()}")
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            tmp.write_bytes(
+                pickle.dumps((key, value),
+                             protocol=pickle.HIGHEST_PROTOCOL))
+            os.replace(tmp, path)
+            self.stores += 1
+        except OSError:
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+
+    # -- maintenance ----------------------------------------------------
+
+    def entries(self) -> list[pathlib.Path]:
+        """The entry files currently on disk."""
+        try:
+            return sorted(self.root.glob("*.pkl"))
+        except OSError:
+            return []
+
+    def stats(self) -> dict:
+        """Session counters plus on-disk footprint."""
+        files = self.entries()
+        size = 0
+        for path in files:
+            try:
+                size += path.stat().st_size
+            except OSError:
+                pass
+        return {
+            "dir": str(self.root),
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "entries": len(files),
+            "bytes": size,
+        }
+
+    def clear(self) -> int:
+        """Delete every cache entry (and the stats file); returns count.
+
+        Only files this store created (``*.pkl`` entries, temp files
+        and ``stats.json``) are removed -- never the directory itself
+        or anything else in it.
+        """
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        try:
+            for tmp in self.root.glob("*.tmp*"):
+                tmp.unlink()
+            (self.root / "stats.json").unlink(missing_ok=True)
+        except OSError:
+            pass
+        return removed
+
+    def flush_stats(self) -> None:
+        """Fold this session's counters into ``stats.json`` on disk.
+
+        Cumulative across invocations; read back by the ``cache``
+        CLI subcommand's hit-rate report.  Best-effort like all other
+        I/O here.
+        """
+        path = self.root / "stats.json"
+        totals = {"hits": 0, "misses": 0, "stores": 0}
+        try:
+            totals.update({k: int(v)
+                           for k, v in json.loads(path.read_text()).items()
+                           if k in totals})
+        except (OSError, ValueError):
+            pass
+        totals["hits"] += self.hits
+        totals["misses"] += self.misses
+        totals["stores"] += self.stores
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_name(f"stats.tmp{os.getpid()}")
+            tmp.write_text(json.dumps(totals, indent=2) + "\n")
+            os.replace(tmp, path)
+        except OSError:
+            pass
+
+    def persistent_stats(self) -> dict:
+        """The cumulative ``stats.json`` counters (zeros if absent)."""
+        totals = {"hits": 0, "misses": 0, "stores": 0}
+        try:
+            data = json.loads((self.root / "stats.json").read_text())
+            totals.update({k: int(v) for k, v in data.items()
+                           if k in totals})
+        except (OSError, ValueError):
+            pass
+        return totals

@@ -48,3 +48,43 @@ class TestMain:
         from repro.cli import _jsonable
         flat = _jsonable({("a", "b"): [1, 2], "c": {("x", 1): 3}})
         assert flat == {"a|b": [1, 2], "c": {"x|1": 3}}
+
+
+class TestCacheCommand:
+    def test_stats_on_empty_cache(self, tmp_path, capsys):
+        assert main(["cache", "--simcache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 0" in out
+        assert "trace cache" in out
+
+    def test_experiment_fills_then_clear_empties(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        argv = ["modelcheck", "--min-reps", "2",
+                "--max-cycles", "200000", "--simcache-dir", cache_dir]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "misses" in cold  # cold run reported cache activity
+
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "0 misses" in warm
+        # The experiment output itself is identical cold vs warm.
+        def strip(text):
+            return [line for line in text.splitlines()
+                    if "result cache" not in line
+                    and "cached runs" not in line]
+
+        assert strip(cold) == strip(warm)
+
+        assert main(["cache", "--simcache-dir", cache_dir,
+                     "--clear"]) == 0
+        assert "cleared" in capsys.readouterr().out
+        assert main(["cache", "--simcache-dir", cache_dir]) == 0
+        assert "entries: 0" in capsys.readouterr().out
+
+    def test_no_simcache_disables_persistence(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main(["table1", "--no-simcache",
+                     "--simcache-dir", str(cache_dir)]) == 0
+        capsys.readouterr()
+        assert not cache_dir.exists()

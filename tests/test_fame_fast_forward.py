@@ -1,0 +1,86 @@
+"""Differential tests of the FAME steady-state fast-forward.
+
+When consecutive repetitions of a single-thread measurement become
+bit-identical, the runner may close-form the remaining trajectory
+instead of replaying it cycle by cycle
+(:mod:`repro.fame.steady`).  The shortcut must be *exact*: every
+FAME-visible quantity -- repetition counts, the per-repetition end
+times and retired counts (and therefore the accumulated-IPC
+convergence series), IPC, cycle count, the convergence and cap flags
+-- has to match a full replay bit for bit, on every micro-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import POWER5
+from repro.fame import FameRunner
+from repro.fame.maiv import accumulated_ipc_series
+from repro.microbench import MICROBENCHMARKS, make_microbenchmark
+
+#: Repetition floor high enough that steady state is reached with
+#: profitable repetitions left to skip (the paper's hardware floor).
+MIN_REPS = 10
+
+
+def _run(config, name: str, fast: bool):
+    runner = FameRunner(config, min_repetitions=MIN_REPS,
+                        max_cycles=4_000_000, fame_fast_forward=fast)
+    result = runner.run_single(make_microbenchmark(name, config))
+    return runner, result
+
+
+@pytest.fixture(scope="module")
+def config():
+    return POWER5.small()
+
+
+@pytest.mark.parametrize("name", sorted(MICROBENCHMARKS))
+def test_fast_forward_matches_replay(config, name):
+    """Fast-forwarded single runs equal full replay on every field."""
+    _, reference = _run(config, name, fast=False)
+    _, fast = _run(config, name, fast=True)
+
+    ref_th, fast_th = reference.thread(0), fast.thread(0)
+    assert fast_th.repetitions == ref_th.repetitions
+    assert fast_th.rep_end_times == ref_th.rep_end_times
+    assert fast_th.rep_end_retired == ref_th.rep_end_retired
+    assert fast_th.ipc == ref_th.ipc
+    assert fast_th.avg_repetition_cycles == ref_th.avg_repetition_cycles
+    assert fast.cycles == reference.cycles
+    assert fast.converged == reference.converged
+    assert fast.capped == reference.capped
+    # The full FAME convergence trajectory (what maiv_converged saw):
+    # identical rep arrays imply an identical accumulated-IPC series.
+    assert (accumulated_ipc_series(fast_th.rep_end_times,
+                                   fast_th.rep_end_retired)
+            == accumulated_ipc_series(ref_th.rep_end_times,
+                                      ref_th.rep_end_retired))
+
+
+def test_fast_forward_engages(config):
+    """The shortcut actually fires on periodic compute kernels.
+
+    Without this, the suite above would pass trivially with the
+    fast-forward never taken.
+    """
+    engaged = []
+    for name in sorted(MICROBENCHMARKS):
+        runner, _ = _run(config, name, fast=True)
+        if runner.last_steady_state:
+            engaged.append(name)
+    assert "cpu_fp" in engaged
+    assert "ldint_mem" in engaged
+    assert len(engaged) >= 5
+
+
+def test_fast_forward_skips_pair_runs(config):
+    """SMT pair runs never take the single-thread shortcut."""
+    runner = FameRunner(config, min_repetitions=MIN_REPS,
+                        max_cycles=2_000_000, fame_fast_forward=True)
+    runner.run_pair(make_microbenchmark("cpu_int", config),
+                    make_microbenchmark("cpu_fp", config,
+                                        (1 << 27) + 8192),
+                    priorities=(4, 4))
+    assert not runner.last_steady_state

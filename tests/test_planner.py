@@ -1,0 +1,80 @@
+"""The cross-experiment cell planner.
+
+:func:`repro.experiments.planner.prefetch_all` measures the
+deduplicated union of every cell a set of experiments will consume.
+Two properties matter: the union really is deduplicated (shared cells
+are planned once), and running experiments after the planner produces
+byte-identical reports to running them unplanned -- the planner may
+change *when* cells are simulated, never *what* they contain.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, ExperimentContext, run_many
+from repro.experiments import figure2, figure3, figure4, table3
+from repro.experiments.planner import (
+    CELL_PLANNERS,
+    DEFERRED_PLANNERS,
+    planned_cells,
+    prefetch_all,
+)
+
+
+def _ctx(**kwargs) -> ExperimentContext:
+    return ExperimentContext(min_repetitions=2, max_cycles=200_000,
+                             **kwargs)
+
+
+def test_union_deduplicates_shared_cells():
+    """Figures 2/3/4 and Table 3 share one sweep; the plan reflects it."""
+    ids = ["table3", "figure2", "figure3", "figure4"]
+    phase1, deferred = planned_cells(_ctx(), ids)
+    total = (len(table3.cells()) + len(figure2.cells())
+             + len(figure3.cells()) + len(figure4.cells()))
+    assert len(phase1) < total          # overlap removed
+    assert len(phase1) == len(set(phase1))
+    assert not deferred                 # no result-dependent keys here
+    # Every cell each experiment will ask for is in the plan.
+    for cells in (table3.cells(), figure2.cells(), figure3.cells(),
+                  figure4.cells()):
+        assert set(cells) <= set(phase1)
+
+
+def test_every_cell_experiment_has_a_planner():
+    """Each registered experiment either has a planner or provably
+    consumes no measurement cells (drives the simulator directly)."""
+    cell_free = {"table1", "figure1", "table4", "noise"}
+    for eid in EXPERIMENTS:
+        planned = eid in CELL_PLANNERS or eid in DEFERRED_PLANNERS
+        assert planned or eid in cell_free, eid
+
+
+def test_planned_execution_is_invisible_and_up_front():
+    """Planned runs match sequential runs and simulate nothing late."""
+    ids = ["table3", "modelcheck"]
+    planned_ctx = _ctx()
+    stats = prefetch_all(planned_ctx, ids)
+    assert (stats["cells"] == stats["simulated"]
+            == planned_ctx.cached_runs())
+    before = planned_ctx.cached_runs()
+    planned = [EXPERIMENTS[eid](planned_ctx) for eid in ids]
+    assert planned_ctx.cached_runs() == before  # prefetches were no-ops
+
+    ctx = _ctx()
+    sequential = [EXPERIMENTS[eid](ctx) for eid in ids]
+    for a, b in zip(planned, sequential):
+        assert repr(a) == repr(b), a.experiment_id
+
+
+def test_run_many_single_experiment_skips_planning():
+    """One experiment plans its own cells; run_many adds nothing."""
+    ctx = _ctx()
+    (report,) = run_many(["table1"], ctx)
+    assert report.experiment_id == "table1"
+
+
+def test_run_many_rejects_unknown_ids():
+    with pytest.raises(ValueError, match="unknown experiments"):
+        run_many(["table3", "figureX"], _ctx())
