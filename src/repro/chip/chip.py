@@ -25,7 +25,7 @@ from collections.abc import Iterable, Sequence
 
 from repro.chip.bus import CorePort, SharedChipBus
 from repro.chip.config import ChipConfig
-from repro.core import SMTCore
+from repro.core import SMTCore, make_core
 
 
 class Chip:
@@ -33,7 +33,7 @@ class Chip:
 
     def __init__(self, config: ChipConfig | None = None):
         self.config = config if config is not None else ChipConfig()
-        self.cores = [SMTCore(self.config.core)
+        self.cores = [make_core(self.config.core)
                       for _ in range(self.config.n_cores)]
         if self.config.n_cores > 1:
             self.bus: SharedChipBus | None = SharedChipBus(self.config)

@@ -59,6 +59,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable event-driven fast-forwarding (slower, "
              "bit-identical results; for validation)")
     parser.add_argument(
+        "--engine", choices=("array", "object"), default=None,
+        help="simulation engine: 'array' (compiled kernels + "
+             "steady-state replay; default) or 'object' (per-cycle "
+             "reference loop, slower, bit-identical results)")
+    parser.add_argument(
         "--json", metavar="PATH",
         help="also dump experiment data as JSON to PATH")
     cache = parser.add_argument_group("result cache")
@@ -189,6 +194,8 @@ def main(argv: list[str] | None = None) -> int:
     config = POWER5.small() if args.preset == "small" else POWER5.default()
     if args.reference:
         config = dataclasses.replace(config, fast_forward=False)
+    if args.engine:
+        config = dataclasses.replace(config, engine=args.engine)
     error = _validate_args(args)
     if error is not None:
         print(error, file=sys.stderr)
@@ -241,10 +248,18 @@ def main(argv: list[str] | None = None) -> int:
         print(f"   [{elapsed:.1f}s, {ctx.cached_runs()} cached runs]\n")
         reports.append(report)
     if simcache is not None and (simcache.hits or simcache.misses):
+        if args.experiment == "all":
+            # A full run just warmed every cell the suite has; fold
+            # the per-cell files into the indexed shard so the next
+            # invocation reads one file instead of hundreds.
+            packed = simcache.pack()
+            if packed:
+                print(f"packed {packed} cached results into "
+                      f"{simcache.root / 'entries.shard'}")
         stats = simcache.stats()
         print(f"result cache: {stats['hits']} hits, "
               f"{stats['misses']} misses, {stats['stores']} stored "
-              f"({stats['entries']} entries, "
+              f"({stats['entries']} entries, {stats['packed']} packed, "
               f"{stats['bytes'] / 1e6:.1f} MB on disk)")
         simcache.flush_stats()
     if args.pmu:
@@ -285,7 +300,7 @@ def _run_cache(args) -> int:
     rate = f"{100 * totals['hits'] / lookups:.1f}%" if lookups else "n/a"
     print(f"result cache: {stats['dir']}")
     print(f"  entries: {stats['entries']} "
-          f"({stats['bytes'] / 1e6:.1f} MB)")
+          f"({stats['packed']} packed, {stats['bytes'] / 1e6:.1f} MB)")
     print(f"  lifetime: {totals['hits']} hits / {lookups} lookups "
           f"({rate} hit rate), {totals['stores']} stores")
     info = tracecache.cache_info()

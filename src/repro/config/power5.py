@@ -135,6 +135,16 @@ class CoreConfig:
     # per-cycle reference loop (``fast_forward=False``), which remains
     # available for differential validation.
     fast_forward: bool = True
+    # Dense-dispatch engine.  ``"array"`` (the default) precompiles
+    # each trace into flat struct-of-arrays form and runs the inlined
+    # decode/issue/retire loop of :class:`repro.core.ArraySMTCore`;
+    # ``"object"`` walks per-instruction ``Instruction`` tuples through
+    # ``SMTCore._decode_slot``.  Like ``fast_forward``, the switch
+    # never changes simulated behaviour -- both engines are
+    # bit-identical on every counter -- so it is excluded from the
+    # fingerprint and the object engine stays available as the
+    # differential reference.
+    engine: str = "array"
 
     # Execution resources (units are fully pipelined, 1 op/cycle each)
     num_fxu: int = 2
@@ -166,6 +176,11 @@ class CoreConfig:
     # Nominal clock, used only to report simulated cycles as seconds.
     clock_hz: float = 1.65e9
 
+    def __post_init__(self) -> None:
+        if self.engine not in ("array", "object"):
+            raise ValueError(
+                f"unknown engine {self.engine!r}: use 'array' or 'object'")
+
     def replace(self, **changes) -> "CoreConfig":
         """Return a copy with the given fields replaced."""
         return dataclasses.replace(self, **changes)
@@ -180,11 +195,13 @@ class CoreConfig:
         Used as a cache key for memoised trace construction and to tag
         benchmark records: two configurations with equal fields always
         share a fingerprint, and any field change produces a new one.
-        The simulation-engine switch (``fast_forward``) is excluded --
-        it never changes simulated behaviour, only how the step loop
-        advances time.
+        The simulation-engine switches (``fast_forward``, ``engine``)
+        are excluded -- they never change simulated behaviour, only how
+        the step loop advances time, so results cached under one engine
+        stay valid (and shared) under the other.
         """
-        canonical = repr(dataclasses.replace(self, fast_forward=True))
+        canonical = repr(dataclasses.replace(
+            self, fast_forward=True, engine="array"))
         return hashlib.sha256(canonical.encode()).hexdigest()[:16]
 
 

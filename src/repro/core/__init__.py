@@ -1,5 +1,7 @@
 """The cycle-level SMT core (see :mod:`repro.core.smt_core`)."""
 
+from repro.config import CoreConfig
+from repro.core.array_engine import ArraySMTCore, ArrayThread
 from repro.core.balancer import BalancerStats, ResourceBalancer
 from repro.core.fu import FunctionalUnits, UnitPool
 from repro.core.results import CoreResult, ThreadResult
@@ -7,8 +9,27 @@ from repro.core.smt_core import SMTCore
 from repro.core.tracing import PipelineEvent, PipelineTracer
 from repro.core.thread import HardwareThread, InflightGroup
 
+
+def make_core(config: CoreConfig | None = None) -> SMTCore:
+    """Construct the core selected by ``config.engine``.
+
+    Every production construction site goes through this factory, so
+    the ``--engine`` flag (and the config field behind it) reaches the
+    FAME runner, chip quantum-stepping, the pipeline case study and
+    both sweep paths uniformly.  ``CoreConfig`` validates the engine
+    name at construction time.
+    """
+    config = config or CoreConfig()
+    if config.engine == "object":
+        return SMTCore(config)
+    return ArraySMTCore(config)
+
+
 __all__ = [
     "SMTCore",
+    "ArraySMTCore",
+    "ArrayThread",
+    "make_core",
     "CoreResult",
     "ThreadResult",
     "HardwareThread",

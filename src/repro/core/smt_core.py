@@ -49,7 +49,7 @@ from repro.config import CoreConfig
 from repro.core.balancer import ResourceBalancer
 from repro.core.fu import FunctionalUnits
 from repro.core.results import CoreResult, ThreadResult
-from repro.core.thread import HardwareThread, InflightGroup
+from repro.core.thread import HardwareThread
 from repro.isa.instruction import OpClass
 from repro.isa.trace import TraceSource
 from repro.memory import MemoryHierarchy
@@ -150,7 +150,8 @@ class SMTCore:
         self.balancer.reset()
         self.interface = PriorityInterface(priorities)
         self._threads = [
-            HardwareThread(i, src, privileges[i]) if src is not None else None
+            self._make_thread(i, src, privileges[i])
+            if src is not None else None
             for i, src in enumerate(srcs)]
         self._cycle = 0
         self._gct_used = 0
@@ -162,6 +163,11 @@ class SMTCore:
         self._hooks = []
         self._next_hook = -1
         self._rebuild_arbiter()
+
+    def _make_thread(self, thread_id: int, source: TraceSource,
+                     privilege: PrivilegeLevel) -> HardwareThread:
+        """Thread-state factory (the array engine binds compiled traces)."""
+        return HardwareThread(thread_id, source, privilege)
 
     def attach_tracer(self, tracer) -> None:
         """Record per-instruction pipeline events into ``tracer``."""
@@ -317,25 +323,25 @@ class SMTCore:
             if t0 is not None and t0.inflight:
                 budget = retire_budget
                 q = t0.inflight
-                while budget and q and q[0].completion <= now:
+                while budget and q and q[0][0] <= now:
                     g = q.popleft()
-                    t0.retired += g.count
+                    t0.retired += g[1]
                     t0.gct_held -= 1
                     self._gct_used -= 1
                     budget -= 1
-                    if g.rep_done:
+                    if g[2]:
                         t0.rep_end_times.append(now)
                         t0.rep_end_retired.append(t0.retired)
             if t1 is not None and t1.inflight:
                 budget = retire_budget
                 q = t1.inflight
-                while budget and q and q[0].completion <= now:
+                while budget and q and q[0][0] <= now:
                     g = q.popleft()
-                    t1.retired += g.count
+                    t1.retired += g[1]
                     t1.gct_held -= 1
                     self._gct_used -= 1
                     budget -= 1
-                    if g.rep_done:
+                    if g[2]:
                         t1.rep_end_times.append(now)
                         t1.rep_end_retired.append(t1.retired)
 
@@ -368,7 +374,7 @@ class SMTCore:
                             and t0.stall_until <= now
                             and self._gct_used >= gct_floor
                             and bal.should_flush(t0.gct_held,
-                                                 t0.inflight[0].completion,
+                                                 t0.inflight[0][0],
                                                  now)):
                         self._flush(t0, now)
                 if t0.finished:
@@ -389,7 +395,7 @@ class SMTCore:
                             and t1.stall_until <= now
                             and self._gct_used >= gct_floor
                             and bal.should_flush(t1.gct_held,
-                                                 t1.inflight[0].completion,
+                                                 t1.inflight[0][0],
                                                  now)):
                         self._flush(t1, now)
 
@@ -524,7 +530,7 @@ class SMTCore:
                 continue
             inflight = th.inflight
             if inflight:
-                head = inflight[0].completion
+                head = inflight[0][0]
                 if head <= a:
                     return a
                 if head < b:
@@ -545,7 +551,7 @@ class SMTCore:
                 if (mine <= theirs and not other.finished
                         and self._gct_used >= cfg.gct_groups - 2
                         and bal.should_flush(th.gct_held,
-                                             inflight[0].completion, a)):
+                                             inflight[0][0], a)):
                     return a
             if not alive[tid]:
                 continue
@@ -823,8 +829,7 @@ class SMTCore:
         rep_done = pos >= n
         if start_pos == 0 and len(th.rep_start_times) == start_rep:
             th.rep_start_times.append(now)
-        th.inflight.append(
-            InflightGroup(group_comp, count, rep_done, start_pos, start_rep))
+        th.inflight.append((group_comp, count, rep_done, start_pos, start_rep))
         th.gct_held += 1
         self._gct_used += 1
         th.decoded += count
@@ -846,24 +851,24 @@ class SMTCore:
         that work too.
         """
         target = self.balancer.config.gct_flush_target
-        squashed_first: InflightGroup | None = None
+        squashed_first = None
         nsquashed = 0
         while th.gct_held > target and len(th.inflight) > 1:
             g = th.inflight.pop()
             squashed_first = g
-            nsquashed += g.count
+            nsquashed += g[1]
             th.gct_held -= 1
             self._gct_used -= 1
         if squashed_first is None:
             return
-        th.rewind(squashed_first.rep_index, squashed_first.start_pos)
+        th.rewind(squashed_first[4], squashed_first[3])
         th.decoded -= nsquashed
         th.flushes += 1
         th.flushed_instructions += nsquashed
         # Per the paper (section 3.1), a flushed thread stops decoding
         # "until the congestion clears": hold decode until its oldest
         # outstanding miss resolves (bounded), plus the refill penalty.
-        oldest = th.inflight[0].completion if th.inflight else now
+        oldest = th.inflight[0][0] if th.inflight else now
         hold = min(oldest, now + self.config.memory.dram_latency * 2)
         th.stall_until = max(now + self.balancer.config.flush_penalty, hold)
         self.balancer.stats.flush_events[th.thread_id] += 1

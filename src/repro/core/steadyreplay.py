@@ -1,0 +1,475 @@
+"""Exact steady-state replay telescoping for the array engine.
+
+The simulator is deterministic and autonomous between ``step`` calls:
+once the machine state at cycle ``t + P`` equals the state at ``t`` in
+every respect that can influence the future *relative to the current
+cycle*, the whole future repeats with period ``P`` -- the same slots
+decode the same groups, the same misses queue at the same offsets, the
+same windows trigger the same balancer actions.  Replaying those
+periods one cycle at a time only re-derives known numbers, so the
+array engine telescopes them: detect a candidate period from the
+repetition-completion pattern, verify it by densely simulating one
+more period and comparing an exhaustive relative-state signature, then
+jump whole periods at once by adding the verified per-period counter
+deltas and time-shifting every future-dated record.
+
+Exactness contract (enforced by the engine differential tests): a jump
+of ``k`` periods leaves the core in a state *bit-identical* -- every
+counter, every repetition record, every cache line, every queued miss
+-- to the state dense simulation would have reached, for every
+observable the simulator exposes.  There is no extrapolation slack:
+the signature covers the complete mutable state expressed relative to
+``now`` (trace positions, scoreboards, in-flight groups, unit-pool
+reservations, LMQ intervals, DRAM bus slots, cache/TLB tag order and
+recency order, branch-predictor tables, balancer phase), so signature
+equality at ``t`` and ``t + P`` implies the two states are related by
+a pure time translation, and the jump applies exactly that
+translation.
+
+Three state classes get three treatments:
+
+- *monotone counters* (retired, slot accounting, hit/miss statistics,
+  ...) advance by ``k`` times their verified per-period delta;
+- *future-dated records* (group completions, scoreboard entries,
+  unit-pool reservations, LMQ/DRAM intervals, the balancer window
+  boundary) shift by ``k * P``;
+- *recency state* (cache/TLB stamps) is left untouched: lookups only
+  compare stamps within a set, post-jump stamps exceed all resident
+  ones just as they would after dense replay, and the signature pins
+  the resident relative order, so every future hit/miss/eviction
+  decision is unchanged.
+
+The telescoper never engages when any observer could see inside a
+period: instrumented runs (tracer, repetition gate, periodic hooks --
+which covers PMU sampling and the governor), chip-attached cores (the
+shared fabric breaks autonomy), or sources whose repetitions are not
+the identical trace object (checked before every jump).  A failed
+verification just resumes dense simulation -- detection is pure
+overhead bounded by one signature comparison per retry, and the
+densely simulated verification cycles count toward the run anyway.
+"""
+
+from __future__ import annotations
+
+from math import gcd
+
+#: Monotone per-thread counters extrapolated across jumped periods.
+#: ``rep_index`` and the window snapshots ride along: their per-period
+#: deltas are verified like any counter and their relations to the
+#: phase state (snapshot-vs-current differences, in-flight group
+#: repetition tags) are pinned by the signature.
+_THREAD_COUNTERS = (
+    "owned_slots", "wasted_slots", "slots_lost_gct", "slots_lost_stall",
+    "slots_lost_balancer", "slots_lost_throttle", "slots_lost_other",
+    "decoded", "retired", "groups_dispatched", "mispredicts", "flushes",
+    "flushed_instructions", "operand_wait_cycles", "fu_wait_cycles",
+    "priority_changes", "rep_index", "window_l2_misses", "window_retired",
+)
+
+_BALANCER_STATS = ("stall_events", "stall_cycles", "flush_events",
+                   "flushed_groups", "throttle_windows")
+
+#: Longest repetition-delta block searched for a repeating pattern.
+#: Joint SMT regimes cycle through many repetition lengths before the
+#: pair realigns (cpu_int + ldint_l2 repeats every 49 primary
+#: repetitions: 94,848 cycles, exactly 304 secondary repetitions).
+_MAX_BLOCK = 64
+
+#: Candidate periods above this are not worth verifying: the horizon
+#: needed to amortize them exceeds any practical measurement.
+_MAX_PERIOD = 1 << 22
+
+#: Dense cycles between detection probes while no candidate exists.
+_PROBE = 4096
+
+_IDLE, _VERIFYING, _VERIFIED = 0, 1, 2
+
+
+def _counter_slots(core):
+    """Every monotone counter as a (container, key) slot list.
+
+    ``key`` is an attribute name or a list index; the same slot list
+    drives snapshotting, delta computation and the jump update, so the
+    three can never disagree about coverage.
+    """
+    slots = []
+    for th in core._threads:
+        if th is not None:
+            slots += [(th, f) for f in _THREAD_COUNTERS]
+    for pool in core.fus.pools():
+        slots += [(pool, "issues"), (pool, "total_wait"),
+                  (pool.thread_issues, 0), (pool.thread_issues, 1)]
+    hier = core.hierarchy
+    for counts in hier.level_counts.values():
+        slots += [(counts, 0), (counts, 1)]
+    slots += [(hier.store_counts, 0), (hier.store_counts, 1)]
+    lmq = hier.lmq
+    slots += [(lmq, "acquisitions"), (lmq, "total_wait_cycles"),
+              (lmq.thread_acquisitions, 0), (lmq.thread_acquisitions, 1),
+              (lmq.thread_wait_cycles, 0), (lmq.thread_wait_cycles, 1)]
+    dram = hier.dram
+    slots += [(dram, "accesses"), (dram, "total_queue_cycles"),
+              (dram.thread_accesses, 0), (dram.thread_accesses, 1),
+              (dram.thread_queue_cycles, 0), (dram.thread_queue_cycles, 1)]
+    for unit in (hier.tlb, hier.l1d, hier.l2, hier.l3):
+        st = unit.stats
+        slots += [(st, "hits"), (st, "misses"),
+                  (st.thread_hits, 0), (st.thread_hits, 1),
+                  (st.thread_misses, 0), (st.thread_misses, 1)]
+    bht = core.bht
+    slots += [(bht, "predictions"), (bht, "mispredictions"),
+              (bht.thread_predictions, 0), (bht.thread_predictions, 1),
+              (bht.thread_mispredictions, 0), (bht.thread_mispredictions, 1)]
+    for name in _BALANCER_STATS:
+        pair = getattr(core.balancer.stats, name)
+        slots += [(pair, 0), (pair, 1)]
+    return slots
+
+
+def _read(slots):
+    return [getattr(c, k) if type(k) is str else c[k] for c, k in slots]
+
+
+def _apply(slots, deltas, k):
+    for (c, key), d in zip(slots, deltas):
+        if d:
+            if type(key) is str:
+                setattr(c, key, getattr(c, key) + k * d)
+            else:
+                c[key] += k * d
+
+
+def _recency_sig(sets):
+    """Canonical (tags, recency order) form of one cache/TLB level.
+
+    Lookups compare stamps only within a set, so two states behave
+    identically iff each set holds the same tags in the same dict
+    order with the same stamp ranking -- eviction picks the minimum
+    stamp with dict-order tie-break, which this form pins exactly
+    while staying invariant to the absolute stamp values.
+    """
+    out = []
+    for s in sets:
+        if s:
+            vals = list(s.values())
+            out.append((tuple(s), tuple(sorted(range(len(vals)),
+                                               key=vals.__getitem__))))
+        else:
+            out.append(())
+    return tuple(out)
+
+
+def _signature(core, tab_len, thr_interval, bal_on):
+    """Complete mutable state relative to the current cycle.
+
+    Equality of two signatures taken ``P`` cycles apart proves the
+    states are time-translates of each other: every field is either
+    phase state expressed relative to ``now`` (with past timestamps
+    clamped -- anything at or before ``now`` acts as "ready") or a
+    difference of two monotone counters whose relation feeds future
+    decisions (balancer window snapshots versus current values).
+    """
+    now = core._cycle
+    hier = core.hierarchy
+    bal = core.balancer
+    parts = [now % tab_len,
+             core.priorities,
+             core.honor_priority_nops,
+             core._gct_used,
+             bal.next_window - now if bal_on else -1]
+    for tid, th in enumerate(core._threads):
+        if th is None:
+            parts.append(None)
+            continue
+        rep_obj = getattr(th, "_rep_obj", None)
+        parts.append((
+            th.pos, th.finished, th.gated, th.balancer_stalled,
+            th.throttled, th.gct_held,
+            max(th.stall_until - now, 0),
+            0 if rep_obj is None else id(rep_obj),
+            th.owned_slots % thr_interval if bal_on else -1,
+            hier.l2_miss_count(tid) - th.window_l2_misses if bal_on else -1,
+            th.retired - th.window_retired if bal_on else -1,
+            tuple(r - now if r > now else 0 for r in th.reg_ready),
+            tuple((g[0] - now, g[1], g[2], g[3], g[4] - th.rep_index)
+                  for g in th.inflight),
+        ))
+    for pool in core.fus.pools():
+        parts.append(tuple(sorted(
+            (t - now, v) for t, v in pool._occupied.items() if t >= now)))
+    parts.append(tuple((e - now, s - now)
+                       for e, s in hier.lmq._intervals))
+    dram = hier.dram
+    horizon = now - dram.config.dram_bus_gap
+    parts.append(tuple(s - now for s in dram._starts if s > horizon))
+    parts.append(_recency_sig(hier.tlb._sets))
+    parts.append(_recency_sig(hier.l1d._sets))
+    parts.append(_recency_sig(hier.l2._sets))
+    parts.append(_recency_sig(hier.l3._sets))
+    parts.append(bytes(core.bht._table))
+    return parts
+
+
+def _block(ends):
+    """Smallest repeating tail block of the repetition-length series.
+
+    Returns ``(block_reps, block_cycles)`` when the last ``2 * b``
+    repetition deltas form two identical blocks of ``b``, else
+    ``(0, 0)``.  One block is the thread's contribution to the period.
+    """
+    n = len(ends)
+    if n < 4:
+        return 0, 0
+    tail = ends[-(3 * _MAX_BLOCK + 1):]
+    d = [b - a for a, b in zip(tail, tail[1:])]
+    m = len(d)
+    for b in range(1, _MAX_BLOCK + 1):
+        # Three consecutive occurrences: two would accept transient
+        # coincidences whose inflated alignment lcm then wastes the
+        # whole verification budget on a hopeless candidate.
+        if (m >= 3 * b and d[-b:] == d[-2 * b:-b]
+                and d[-2 * b:-b] == d[-3 * b:-2 * b]):
+            total = sum(d[-b:])
+            return (b, total) if total > 0 else (0, 0)
+    return 0, 0
+
+
+class SteadyReplay:
+    """Per-load telescoping driver owned by one ``ArraySMTCore``.
+
+    The engine's ``step`` hands uninstrumented runs to :meth:`run`,
+    which advances the core to the target cycle through a mix of dense
+    ``_step_dense`` spans and verified whole-period jumps.  All state
+    is per-workload; ``SMTCore.load`` builds a fresh instance.
+    """
+
+    __slots__ = ("core", "disabled", "state", "period", "anchor", "arb",
+                 "slots", "sig1", "snap", "lens", "base", "deltas",
+                 "suffix", "tab_len", "thr_interval", "bal_on", "jumps",
+                 "jumped_cycles", "_retry_at", "_fails")
+
+    def __init__(self, core):
+        self.core = core
+        self.disabled = False
+        self.state = _IDLE
+        self.period = 0
+        self.anchor = 0
+        self.arb = None
+        self.slots = _counter_slots(core)
+        self.sig1 = None
+        self.snap = None
+        self.lens = None
+        self.base = None
+        self.deltas = None
+        self.suffix = None
+        self.tab_len = 1
+        self.thr_interval = 1
+        t0, t1 = core._threads
+        bal_cfg = core.balancer.config
+        self.bal_on = (bal_cfg.enabled
+                       and t0 is not None and t1 is not None)
+        self.jumps = 0
+        self.jumped_cycles = 0
+        self._retry_at = 0
+        self._fails = 0
+
+    # -- driver ---------------------------------------------------------
+
+    def run(self, end: int) -> None:
+        """Advance the core from its current cycle to ``end``."""
+        core = self.core
+        dense = core._step_dense
+        while core._cycle < end:
+            now = core._cycle
+            if self.state != _IDLE and core._arbiter is not self.arb:
+                # Priorities changed (sysfs write, priority nop): the
+                # dispatch phasing the regime was verified against is
+                # gone, so the regime is void.
+                self.state = _IDLE
+                self.sig1 = self.deltas = self.suffix = None
+                continue
+            if self.disabled:
+                dense(end - now)
+                return
+            if self.state == _VERIFIED:
+                phi = (now - self.anchor) % self.period
+                if phi:
+                    dense(min(end - now, self.period - phi))
+                    continue
+                k = (end - now) // self.period
+                if k > 0 and self._jump(k):
+                    continue
+                dense(end - now)
+            elif self.state == _VERIFYING:
+                target = self.anchor + self.period
+                dense(min(end, target) - now)
+                if core._cycle >= target:
+                    self._check()
+            else:
+                p = self._detect()
+                if p:
+                    self._begin(p)
+                else:
+                    dense(min(end - now, _PROBE))
+
+    # -- detection ------------------------------------------------------
+
+    def _lead(self) -> int:
+        return sum(len(th.rep_end_times) for th in self.core._threads
+                   if th is not None)
+
+    def _detect(self) -> int:
+        core = self.core
+        tab_len = core._array_locals()[4]
+        self.tab_len = tab_len
+        period = tab_len
+        live = 0
+        for th in core._threads:
+            if th is None or th.finished:
+                continue
+            live += 1
+            _, cycles = _block(th.rep_end_times)
+            if not cycles:
+                return 0
+            period = period * cycles // gcd(period, cycles)
+        if not live or self._lead() < self._retry_at:
+            return 0
+        if self.bal_on:
+            # Window sampling must land at the same period phase.
+            w = core.balancer.config.window_cycles
+            period = period * w // gcd(period, w)
+        if period > _MAX_PERIOD:
+            return 0
+        return period
+
+    def _begin(self, period: int) -> None:
+        core = self.core
+        self.period = period
+        self.anchor = core._cycle
+        self.arb = core._arbiter
+        self.thr_interval = core.balancer.config.throttle_interval
+        self.sig1 = _signature(core, self.tab_len, self.thr_interval,
+                               self.bal_on)
+        self.snap = _read(self.slots)
+        self.lens = [(len(th.rep_end_times), len(th.rep_start_times))
+                     if th is not None else None
+                     for th in core._threads]
+        self.base = [(th.retired, th.rep_index)
+                     if th is not None else None
+                     for th in core._threads]
+        self.state = _VERIFYING
+
+    def _check(self) -> None:
+        core = self.core
+        sig2 = _signature(core, self.tab_len, self.thr_interval,
+                          self.bal_on)
+        if sig2 != self.sig1:
+            # Not steady yet (warmup transient, misaligned throttle
+            # phase, aperiodic source).  Back off exponentially: each
+            # retry costs one signature comparison.
+            self._fails += 1
+            self._retry_at = self._lead() + 8 * (1 << min(self._fails, 6))
+            self.state = _IDLE
+            self.sig1 = self.snap = self.lens = self.base = None
+            return
+        after = _read(self.slots)
+        self.deltas = [b - a for a, b in zip(self.snap, after)]
+        anchor = self.anchor
+        suffix = []
+        for th, lens, base in zip(core._threads, self.lens, self.base):
+            if th is None:
+                suffix.append(None)
+                continue
+            (n_end, n_start), (ret0, rep0) = lens, base
+            suffix.append((
+                [e - anchor for e in th.rep_end_times[n_end:]],
+                [r - ret0 for r in th.rep_end_retired[n_end:]],
+                [s - anchor for s in th.rep_start_times[n_start:]],
+                th.rep_index - rep0,
+                th.retired - ret0,
+            ))
+        self.suffix = suffix
+        self.sig1 = self.snap = self.lens = self.base = None
+        self.state = _VERIFIED
+
+    # -- the jump -------------------------------------------------------
+
+    def _jump(self, k: int) -> bool:
+        """Advance ``k`` verified periods in one exact translation."""
+        core = self.core
+        threads = core._threads
+        now = core._cycle
+        period = self.period
+        dt = k * period
+        # Telescoped repetitions must decode the very trace object the
+        # verified period decoded; sources are contractually
+        # deterministic in rep_index, so object identity at the
+        # landing repetition certifies every one in between.
+        for th, suf in zip(threads, self.suffix):
+            if th is None or suf is None or th.finished or not suf[3]:
+                continue
+            try:
+                cur = th.source.repetition(th.rep_index)
+                fut = th.source.repetition(th.rep_index + k * suf[3])
+            except Exception:
+                cur = fut = None
+            if cur is not th._rep_obj or fut is not th._rep_obj:
+                self.disabled = True
+                return False
+        for th, suf in zip(threads, self.suffix):
+            if th is None or suf is None:
+                continue
+            ends_rel, rets_rel, starts_rel, drep, dret = suf
+            if ends_rel:
+                ends = th.rep_end_times
+                rets = th.rep_end_retired
+                base_r = th.retired
+                for j in range(k):
+                    off = now + j * period
+                    roff = base_r + j * dret
+                    ends.extend(off + e for e in ends_rel)
+                    rets.extend(roff + r for r in rets_rel)
+            if starts_rel:
+                starts = th.rep_start_times
+                for j in range(k):
+                    off = now + j * period
+                    starts.extend(off + s for s in starts_rel)
+            # Future-dated per-thread state.  Scoreboard entries at or
+            # before ``now`` all mean "ready" and stay put (the write
+            # sink and zero-register sentinels among them); in-flight
+            # completions shift wholesale -- overdue ones (retire
+            # budget backlog) keep their relative lateness.
+            rr = th.reg_ready
+            for i, r in enumerate(rr):
+                if r > now:
+                    rr[i] = r + dt
+            if th.stall_until > now:
+                th.stall_until += dt
+            q = th.inflight
+            kd = k * drep
+            for _ in range(len(q)):
+                g = q.popleft()
+                q.append((g[0] + dt, g[1], g[2], g[3], g[4] + kd))
+        _apply(self.slots, self.deltas, k)
+        for pool in core.fus.pools():
+            occ = pool._occupied
+            if occ:
+                kept = [(t, v) for t, v in occ.items() if t >= now]
+                occ.clear()
+                for t, v in kept:
+                    occ[t + dt] = v
+        hier = core.hierarchy
+        iv = hier.lmq._intervals
+        if iv:
+            iv[:] = [(e + dt, s + dt) for e, s in iv]
+        dram = hier.dram
+        starts = dram._starts
+        if starts:
+            horizon = now - dram.config.dram_bus_gap
+            starts[:] = [s + dt for s in starts if s > horizon]
+        if self.bal_on:
+            core.balancer.next_window += dt
+        core._cycle = now + dt
+        self.jumps += 1
+        self.jumped_cycles += dt
+        return True

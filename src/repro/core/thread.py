@@ -3,30 +3,33 @@
 from __future__ import annotations
 
 from collections import deque
+from typing import NamedTuple
 
 from repro.isa.registers import NUM_REGS
 from repro.isa.trace import TraceSource
 from repro.priority.levels import PrivilegeLevel
 
 
-class InflightGroup:
+class InflightGroup(NamedTuple):
     """One dispatched group occupying a GCT entry.
 
     ``completion`` is the cycle the group's last instruction finishes;
     ``rep_done`` marks the group that ends a workload repetition;
     ``start_pos``/``rep_index`` allow a balancer flush to rewind decode
     to the start of a squashed group.
+
+    A named *tuple* rather than a slotted class: the step loops append
+    millions of these, and a plain tuple display is several times
+    cheaper than any Python-level ``__init__``.  The hot paths build
+    anonymous 5-tuples in this field order and read by index; the named
+    accessors exist for tests and inspection.
     """
 
-    __slots__ = ("completion", "count", "rep_done", "start_pos", "rep_index")
-
-    def __init__(self, completion: int, count: int, rep_done: bool,
-                 start_pos: int, rep_index: int):
-        self.completion = completion
-        self.count = count
-        self.rep_done = rep_done
-        self.start_pos = start_pos
-        self.rep_index = rep_index
+    completion: int
+    count: int
+    rep_done: bool
+    start_pos: int
+    rep_index: int
 
 
 class HardwareThread:

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import statistics
 
-from repro.core import SMTCore
+from repro.core import make_core
 from repro.experiments.base import SECONDARY_BASE, ExperimentContext
 from repro.experiments.report import ExperimentReport, render_table
 from repro.microbench import make_microbenchmark
@@ -29,7 +29,7 @@ RUN_CYCLES = 200_000
 
 
 def _measure(config, kernel) -> dict:
-    core = SMTCore(config)
+    core = make_core(config)
     core.load([make_microbenchmark("cpu_int", config),
                make_microbenchmark("cpu_int", config,
                                    base_address=SECONDARY_BASE)])

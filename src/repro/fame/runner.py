@@ -15,7 +15,7 @@ import gc
 from dataclasses import dataclass
 
 from repro.config import POWER5, CoreConfig
-from repro.core import CoreResult, SMTCore, ThreadResult
+from repro.core import CoreResult, SMTCore, ThreadResult, make_core
 from repro.core.smt_core import RepGate
 from repro.fame.maiv import accumulated_ipc_series, maiv_converged
 from repro.isa.trace import TraceSource
@@ -125,7 +125,7 @@ class FameRunner:
                 and governor is None and rep_gate is None):
             from repro.fame.steady import SteadyStateFastForward
             steady = SteadyStateFastForward(self)
-        core = core or SMTCore(self.config)
+        core = core or make_core(self.config)
         core.load([primary, secondary], priorities, privileges, rep_gate)
         if pmu is not None:
             pmu.attach(core)

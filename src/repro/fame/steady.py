@@ -36,6 +36,7 @@ leaves the measurement exactly on the replay path.
 from __future__ import annotations
 
 from repro.core import CoreResult, SMTCore, ThreadResult
+from repro.isa.registers import NUM_REGS
 from repro.priority.arbiter import ArbiterMode
 
 #: ThreadResult counter fields extrapolated per repetition.
@@ -274,8 +275,13 @@ def _signature(core: SMTCore, th):
              th.throttled,
              th.gct_held,
              max(th.stall_until - now, 0),
-             tuple(max(r - now, 0) for r in th.reg_ready),
-             tuple((g.completion - now, g.count, g.rep_done)
+             # Architectural registers only: the array engine's
+             # scoreboard carries two sentinel slots (a constant-zero
+             # read slot and a write sink that execution never reads),
+             # which must not perturb periodicity detection -- both
+             # engines must take identical telescoping decisions.
+             tuple(max(r - now, 0) for r in th.reg_ready[:NUM_REGS]),
+             tuple((g[0] - now, g[1], g[2])
                    for g in th.inflight),
              core.priorities)
     return counters, extra, phase

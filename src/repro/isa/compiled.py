@@ -1,0 +1,108 @@
+"""Struct-of-arrays trace compilation for the array engine.
+
+The object engine walks per-instruction :class:`Instruction` tuples,
+paying a tuple unpack plus attribute traffic for every decoded
+instruction.  The array engine instead *compiles* a repetition trace
+once into flat, position-indexed parallel arrays, so the inlined
+decode loop of :class:`repro.core.ArraySMTCore` touches nothing but
+``list[int]`` subscripts:
+
+- ``op``   -- integer :class:`~repro.isa.instruction.OpClass` value
+  (which is also the functional-unit selector: FX/FX_MUL map to the
+  FXU pool, LOAD/STORE to the LSU, FP to the FPU, BRANCH to the BXU);
+- ``dst``  -- destination register, with ``NO_REG`` remapped to the
+  write-sink slot ``NUM_REGS + 1`` so the scoreboard write needs no
+  ``dst >= 0`` branch;
+- ``s1``/``s2`` -- source registers, with ``NO_REG`` remapped to the
+  always-zero slot ``NUM_REGS`` so operand-readiness is branchless;
+- ``addr`` -- memory address operand (loads/stores only);
+- ``aux``  -- auxiliary immediate (branch outcome, priority level);
+- ``prev_long`` -- index of the nearest preceding long-latency
+  producer (load / multiply / FP) whose *raw* destination matches one
+  of this instruction's *raw* sources, or ``-1``.  The object engine's
+  group-break test ``s1 in long_dsts or s2 in long_dsts`` over the
+  long destinations decoded so far in the group is exactly
+  ``prev_long[pos] >= group_start`` (the group is a contiguous index
+  range), turning a per-instruction membership scan into one compare.
+  Raw register values are matched on purpose -- including ``NO_REG``
+  -- to replicate the reference semantics bit for bit.
+
+Compilation is configuration-independent (latencies are applied by the
+engine, not baked into the arrays), so one compiled form serves every
+machine configuration; :mod:`repro.workloads.tracecache` memoises it
+per process keyed by the instruction content.
+
+Plain Python lists are used rather than numpy arrays: the decode loop
+is control-flow-bound (group breaks, branch redirects, priority nops),
+so access is scalar, and CPython subscripts a ``list[int]`` faster
+than it materialises numpy scalars.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.isa.instruction import OpClass
+from repro.isa.registers import NUM_REGS
+
+#: Scoreboard slot that always reads 0 (operand of register-less ops).
+READ_SENTINEL = NUM_REGS
+#: Scoreboard slot that absorbs writes of destination-less ops.
+WRITE_SINK = NUM_REGS + 1
+#: Scoreboard length the array engine allocates per thread.
+SCOREBOARD_SLOTS = NUM_REGS + 2
+
+#: Op classes whose results are long-latency (no intra-group
+#: forwarding): the ops the object engine appends to ``long_dsts``.
+_LONG_OPS = frozenset(
+    (int(OpClass.LOAD), int(OpClass.FX_MUL), int(OpClass.FP)))
+
+
+class CompiledTrace(NamedTuple):
+    """One repetition trace in flat parallel-array form."""
+
+    op: list[int]
+    dst: list[int]
+    s1: list[int]
+    s2: list[int]
+    addr: list[int]
+    aux: list[int]
+    prev_long: list[int]
+
+    @property
+    def length(self) -> int:
+        """Number of instructions."""
+        return len(self.op)
+
+
+def compile_trace(instructions) -> CompiledTrace:
+    """Compile an instruction sequence into a :class:`CompiledTrace`."""
+    ops: list[int] = []
+    dsts: list[int] = []
+    s1s: list[int] = []
+    s2s: list[int] = []
+    addrs: list[int] = []
+    auxs: list[int] = []
+    prev_long: list[int] = []
+    # Raw destination value (including NO_REG) -> index of the latest
+    # long-latency op that wrote it.
+    last_long: dict[int, int] = {}
+    long_ops = _LONG_OPS
+    get = last_long.get
+    for i, ins in enumerate(instructions):
+        op, dst, s1, s2, addr, aux = ins
+        op = int(op)
+        pl = get(s1, -1)
+        q = get(s2, -1)
+        if q > pl:
+            pl = q
+        prev_long.append(pl)
+        if op in long_ops:
+            last_long[dst] = i
+        ops.append(op)
+        dsts.append(dst if dst >= 0 else WRITE_SINK)
+        s1s.append(s1 if s1 >= 0 else READ_SENTINEL)
+        s2s.append(s2 if s2 >= 0 else READ_SENTINEL)
+        addrs.append(addr)
+        auxs.append(aux)
+    return CompiledTrace(ops, dsts, s1s, s2s, addrs, auxs, prev_long)

@@ -11,9 +11,17 @@ interval scheduler: a miss that wants to issue at cycle ``t`` occupies
 a slot at the earliest cycle >= ``t`` when fewer than ``entries``
 intervals overlap -- a far-future chain load never blocks a miss that
 is ready now.
+
+The occupancy records are kept as ``(end, start)`` pairs sorted by end
+time: expired records sit at the front (trimmed with one bisect), the
+conflict scan can skip everything already released at the probe point,
+and the first active record it meets is also the earliest-releasing
+one -- which is exactly the retry time a saturated probe must return.
 """
 
 from __future__ import annotations
+
+from bisect import bisect_right, insort
 
 
 class LoadMissQueue:
@@ -23,10 +31,9 @@ class LoadMissQueue:
         if entries < 1:
             raise ValueError("LMQ needs at least one entry")
         self.entries = entries
-        # Occupancy intervals [start, end) of outstanding misses.
-        # Bounded by the in-flight window (GCT), so linear scans are
-        # cheap; entries ending before the core's current cycle are
-        # pruned on each acquire.
+        # Occupancy records (end, start) of outstanding misses, sorted
+        # ascending (by end time first).  Bounded by the in-flight
+        # window (GCT) plus expired leftovers, which acquire trims.
         self._intervals: list[tuple[int, int]] = []
         self._pending_start = 0
         self.acquisitions = 0
@@ -45,7 +52,7 @@ class LoadMissQueue:
 
     def occupancy(self, at: int) -> int:
         """Number of slots busy at cycle ``at``."""
-        return sum(1 for s, e in self._intervals if s <= at < e)
+        return sum(1 for e, s in self._intervals if s <= at < e)
 
     def is_full(self, at: int) -> bool:
         """True when no slot is free at cycle ``at``."""
@@ -66,8 +73,21 @@ class LoadMissQueue:
         self.acquisitions += 1
         self.thread_acquisitions[thread_id] += 1
         intervals = self._intervals
-        if len(intervals) > 4 * self.entries:
-            intervals[:] = [p for p in intervals if p[1] > now]
+        entries = self.entries
+        if len(intervals) >= entries:
+            # Trim expired records: every probe point lies at or after
+            # ``now`` (loads issue no earlier than the decode cycle),
+            # so records ending by then can never be active at one and
+            # dropping them is behaviour-invisible.  They are a sorted
+            # prefix, so one bisect finds the cut.
+            i = bisect_right(intervals, (now, 1 << 62))
+            if i:
+                del intervals[:i]
+        if len(intervals) < entries:
+            # Fewer outstanding records than slots: no probe point can
+            # be saturated, the requested start is feasible as-is.
+            self._pending_start = start
+            return start
         t = start
         while True:
             retry = self._conflict(t, t + max(1, duration))
@@ -82,17 +102,44 @@ class LoadMissQueue:
     def _conflict(self, begin: int, end: int) -> int | None:
         """First retry time if ``[begin, end)`` overflows capacity."""
         intervals = self._intervals
-        points = [begin]
-        points.extend(a for a, b in intervals if begin < a < end)
-        for p in sorted(points):
-            active = [b for a, b in intervals if a <= p < b]
-            if len(active) >= self.entries:
-                return min(active)
-        return None
+        entries = self.entries
+        n = len(intervals)
+        p = begin
+        while True:
+            # Records with end <= p are released; the sorted order puts
+            # them in a prefix the bisect skips.  Scanning upward from
+            # there, the first record covering ``p`` has the smallest
+            # end among all active ones -- the retry time on overflow.
+            count = 0
+            retry = 0
+            j = bisect_right(intervals, (p, 1 << 62))
+            first = j
+            while j < n:
+                rec = intervals[j]
+                if rec[1] <= p:
+                    if not count:
+                        retry = rec[0]
+                    count += 1
+                    if count >= entries:
+                        return retry
+                j += 1
+            # Advance to the next interval start inside (p, end): the
+            # active set only grows at interval starts, so those are
+            # the only probe points that can newly saturate.  Starts
+            # before ``p`` belong to records already counted or
+            # released, so the scan resumes at the bisect point.
+            nxt = end
+            for j in range(first, n):
+                s = intervals[j][1]
+                if p < s < nxt:
+                    nxt = s
+            if nxt == end:
+                return None
+            p = nxt
 
     def fill(self, completion: int) -> None:
         """Record the interval of the miss most recently acquired."""
-        self._intervals.append((self._pending_start, completion))
+        insort(self._intervals, (completion, self._pending_start))
 
     def __repr__(self) -> str:
         return f"LoadMissQueue(entries={self.entries})"

@@ -26,6 +26,16 @@ and written atomically (temp file + ``os.replace``).  A corrupt,
 truncated or colliding file is treated as a miss and rewritten.  The
 cache must never break a run: all I/O failures degrade to
 recomputation.
+
+A warm cache from a full sweep holds hundreds of small files, and a
+re-run pays one ``open`` + ``read`` per cell.  :meth:`SimCache.pack`
+consolidates every per-cell entry (and any previous shard) into one
+indexed shard file: a pickled ``{digest: (offset, length)}`` index
+followed by the raw per-entry pickles, so a lookup seeks straight to
+its blob.  The CLI packs automatically after a full ``all`` run.
+Lookups consult the shard index first and fall back to per-cell
+files, so a cell stored after packing (or a corrupt shard) behaves
+exactly as before packing existed.
 """
 
 from __future__ import annotations
@@ -49,6 +59,14 @@ _FP_CACHE: dict[tuple, str] = {}
 
 #: Sentinel distinguishing "miss" from a legitimately falsy value.
 _MISS = object()
+
+#: Shard file magic: name + format version.  Bump the byte when the
+#: header/index layout changes; unrecognised shards are ignored (their
+#: cells were deleted at pack time, so the worst case is a recompute).
+_SHARD_MAGIC = b"P5SHARD\x01"
+
+#: The single consolidated shard file (one per cache directory).
+_SHARD_NAME = "entries.shard"
 
 
 def default_cache_dir() -> pathlib.Path:
@@ -91,19 +109,32 @@ class SimCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        # Shard index {digest: (offset, length)}, loaded lazily on the
+        # first lookup; None = not loaded yet, {} = no usable shard.
+        self._shard_index: dict[str, tuple[int, int]] | None = None
+
+    @staticmethod
+    def _digest(key: tuple) -> str:
+        return hashlib.sha256(repr(key).encode()).hexdigest()
 
     def _path(self, key: tuple) -> pathlib.Path:
-        digest = hashlib.sha256(repr(key).encode()).hexdigest()
-        return self.root / f"{digest}.pkl"
+        return self.root / f"{self._digest(key)}.pkl"
 
     def lookup(self, key: tuple):
         """The cached value for ``key``, or the module's miss sentinel.
 
         Compare the return value against :data:`_MISS` via
-        :meth:`is_miss`; anything else is a cache hit.
+        :meth:`is_miss`; anything else is a cache hit.  The packed
+        shard is consulted first; per-cell files cover everything
+        stored since the last pack (and every shard failure mode).
         """
+        digest = self._digest(key)
+        value = self._shard_lookup(digest, key)
+        if value is not _MISS:
+            self.hits += 1
+            return value
         try:
-            blob = self._path(key).read_bytes()
+            blob = (self.root / f"{digest}.pkl").read_bytes()
         except OSError:
             self.misses += 1
             return _MISS
@@ -144,11 +175,119 @@ class SimCache:
                              protocol=pickle.HIGHEST_PROTOCOL))
             os.replace(tmp, path)
             self.stores += 1
+            if self._shard_index:
+                # The fresh per-cell file now outranks any packed copy
+                # of this cell; drop the shard's claim so this process
+                # reads what it just wrote.  (pack() likewise prefers
+                # per-cell files, so the next pack heals the shard.)
+                self._shard_index.pop(self._digest(key), None)
         except OSError:
             try:
                 tmp.unlink(missing_ok=True)
             except OSError:
                 pass
+
+    # -- shard packing --------------------------------------------------
+
+    def _shard_path(self) -> pathlib.Path:
+        return self.root / _SHARD_NAME
+
+    def _load_shard_index(self) -> dict:
+        """Parse the shard header; any defect disables the shard."""
+        if self._shard_index is not None:
+            return self._shard_index
+        index: dict[str, tuple[int, int]] = {}
+        try:
+            with open(self._shard_path(), "rb") as fh:
+                if fh.read(len(_SHARD_MAGIC)) == _SHARD_MAGIC:
+                    size = int.from_bytes(fh.read(8), "big")
+                    raw = pickle.loads(fh.read(size))
+                    base = len(_SHARD_MAGIC) + 8 + size
+                    index = {d: (base + off, length)
+                             for d, (off, length) in raw.items()}
+        except Exception:
+            index = {}
+        self._shard_index = index
+        return index
+
+    def _shard_lookup(self, digest: str, key: tuple):
+        """Read one entry out of the packed shard (miss on any error)."""
+        entry = self._load_shard_index().get(digest)
+        if entry is None:
+            return _MISS
+        offset, length = entry
+        try:
+            with open(self._shard_path(), "rb") as fh:
+                fh.seek(offset)
+                stored_key, value = pickle.loads(fh.read(length))
+        except Exception:
+            return _MISS
+        if stored_key != key:
+            return _MISS
+        return value
+
+    def pack(self) -> int:
+        """Consolidate per-cell files (and any old shard) into one shard.
+
+        Layout: magic, 8-byte index size, pickled ``{digest: (offset,
+        length)}`` with offsets relative to the end of the index, then
+        the per-entry pickles verbatim.  Written atomically; the
+        per-cell files are deleted only after the replace succeeds, so
+        an interrupted pack costs nothing.  Returns the number of
+        entries the new shard holds (0 on failure or an empty cache).
+        """
+        blobs: dict[str, bytes] = {}
+        index = self._load_shard_index()
+        try:
+            with open(self._shard_path(), "rb") as fh:
+                for digest, (offset, length) in index.items():
+                    fh.seek(offset)
+                    blobs[digest] = fh.read(length)
+        except OSError:
+            blobs.clear()
+        packed_files = []
+        for path in self.entries():
+            try:
+                blob = path.read_bytes()
+                stored_key, _ = pickle.loads(blob)
+            except Exception:
+                continue  # corrupt cell: leave it for lookup to report
+            # Per-cell entries are newer than any shard copy: a cell
+            # re-stored after the last pack (e.g. RESULT_VERSION bump
+            # rolled back) must win here just as it does in lookup().
+            blobs[self._digest(stored_key)] = blob
+            packed_files.append(path)
+        if not blobs:
+            return 0
+        raw_index = {}
+        offset = 0
+        for digest, blob in blobs.items():
+            raw_index[digest] = (offset, len(blob))
+            offset += len(blob)
+        header = pickle.dumps(raw_index, protocol=pickle.HIGHEST_PROTOCOL)
+        path = self._shard_path()
+        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        try:
+            with open(tmp, "wb") as fh:
+                fh.write(_SHARD_MAGIC)
+                fh.write(len(header).to_bytes(8, "big"))
+                fh.write(header)
+                for blob in blobs.values():
+                    fh.write(blob)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return 0
+        for cell in packed_files:
+            try:
+                cell.unlink()
+            except OSError:
+                pass
+        self._shard_index = None  # reload from the new shard
+        return len(blobs)
 
     # -- maintenance ----------------------------------------------------
 
@@ -168,21 +307,27 @@ class SimCache:
                 size += path.stat().st_size
             except OSError:
                 pass
+        packed = len(self._load_shard_index())
+        try:
+            size += self._shard_path().stat().st_size
+        except OSError:
+            pass
         return {
             "dir": str(self.root),
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,
-            "entries": len(files),
+            "entries": len(files) + packed,
+            "packed": packed,
             "bytes": size,
         }
 
     def clear(self) -> int:
         """Delete every cache entry (and the stats file); returns count.
 
-        Only files this store created (``*.pkl`` entries, temp files
-        and ``stats.json``) are removed -- never the directory itself
-        or anything else in it.
+        Only files this store created (``*.pkl`` entries, the packed
+        shard, temp files and ``stats.json``) are removed -- never the
+        directory itself or anything else in it.
         """
         removed = 0
         for path in self.entries():
@@ -191,12 +336,15 @@ class SimCache:
                 removed += 1
             except OSError:
                 pass
+        removed += len(self._load_shard_index())
         try:
             for tmp in self.root.glob("*.tmp*"):
                 tmp.unlink()
+            self._shard_path().unlink(missing_ok=True)
             (self.root / "stats.json").unlink(missing_ok=True)
         except OSError:
             pass
+        self._shard_index = {}
         return removed
 
     def flush_stats(self) -> None:

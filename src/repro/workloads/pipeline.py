@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.config import POWER5, CoreConfig
-from repro.core import SMTCore
+from repro.core import make_core
 from repro.isa.trace import TraceSource
 from repro.workloads.fft import FFTTraceProgram
 from repro.workloads.lu import LUTraceProgram
@@ -71,7 +71,7 @@ class SoftwarePipeline:
         """
         if iterations <= warmup:
             raise ValueError("need more iterations than warmup")
-        core = SMTCore(self.config)
+        core = make_core(self.config)
 
         def gate(thread_id: int, rep_index: int, now: int) -> bool:
             produced = core.thread(0).completed_repetitions

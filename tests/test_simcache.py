@@ -274,6 +274,86 @@ def test_fingerprint_tracks_content():
     assert fp != workload_fingerprint("ldint_l1", tweaked)
 
 
+def test_pack_roundtrip(tmp_path):
+    """Packing folds every per-cell file into the shard, losslessly.
+
+    A warm context reading purely from the shard must return the same
+    bytes as the cold fill, with every lookup a hit.
+    """
+    cells = CELLS[:3]
+    cold = _ctx(tmp_path)
+    cold.prefetch(cells)
+    assert cold.simcache.pack() == len(cells)
+    assert cold.simcache.entries() == []  # per-cell files consumed
+    assert (tmp_path / "entries.shard").exists()
+    warm = _ctx(tmp_path)
+    assert warm.prefetch(cells) == 0
+    assert warm.simcache.hits == len(cells)
+    assert repr(warm._cache) == repr(cold._cache)
+
+
+def test_pack_keeps_per_cell_fallback(tmp_path):
+    """Cells stored after a pack live beside the shard and win lookups;
+    the next pack folds them in."""
+    cache = SimCache(tmp_path)
+    cache.store(("a",), 1)
+    assert cache.pack() == 1
+    cache.store(("b",), 2)  # post-pack: per-cell file
+    assert len(cache.entries()) == 1
+    fresh = SimCache(tmp_path)
+    assert fresh.lookup(("a",)) == 1  # from the shard
+    assert fresh.lookup(("b",)) == 2  # per-cell fallback
+    assert fresh.pack() == 2  # consolidated, old shard content kept
+    assert fresh.entries() == []
+    again = SimCache(tmp_path)
+    assert again.lookup(("a",)) == 1 and again.lookup(("b",)) == 2
+
+
+def test_repacked_cell_overrides_shard_copy(tmp_path):
+    """A cell re-stored after packing outranks its stale shard copy --
+    in the storing process immediately, on disk after the next pack."""
+    cache = SimCache(tmp_path)
+    cache.store(("a",), "old")
+    assert cache.pack() == 1
+    assert cache.lookup(("a",)) == "old"  # shard index now loaded
+    cache.store(("a",), "new")
+    assert cache.lookup(("a",)) == "new"
+    assert cache.pack() == 1  # per-cell copy wins the merge
+    assert SimCache(tmp_path).lookup(("a",)) == "new"
+
+
+def test_corrupt_shard_degrades_to_miss(tmp_path):
+    """A truncated or garbage shard never breaks lookups."""
+    cache = SimCache(tmp_path)
+    cache.store(("a",), 1)
+    cache.pack()
+    shard = tmp_path / "entries.shard"
+    shard.write_bytes(b"P5SHARD\x01garbage")
+    fresh = SimCache(tmp_path)
+    assert fresh.is_miss(fresh.lookup(("a",)))
+    fresh.store(("a",), 1)  # heals as a per-cell entry
+    assert fresh.lookup(("a",)) == 1
+
+
+def test_pack_empty_cache_is_noop(tmp_path):
+    cache = SimCache(tmp_path)
+    assert cache.pack() == 0
+    assert not (tmp_path / "entries.shard").exists()
+
+
+def test_clear_removes_shard(tmp_path):
+    cache = SimCache(tmp_path)
+    cache.store(("a",), 1)
+    cache.store(("b",), 2)
+    cache.pack()
+    cache.store(("c",), 3)
+    assert cache.stats()["entries"] == 3
+    assert cache.stats()["packed"] == 2
+    assert cache.clear() == 3
+    assert cache.stats()["entries"] == 0
+    assert not (tmp_path / "entries.shard").exists()
+
+
 def test_values_pickle_stably(tmp_path):
     """Cached values roundtrip through pickle without drift."""
     ctx = _ctx(tmp_path)

@@ -43,7 +43,8 @@ def test_old_version_entry_is_rejected(config):
         (SCHEMA_VERSION - 1, "cpu_int", 0, config.fingerprint())] = stale
     source = cached_workload("cpu_int", config)
     assert source is not stale
-    assert cache_info() == {"hits": 0, "misses": 1, "entries": 2}
+    info = cache_info()
+    assert (info["hits"], info["misses"], info["entries"]) == (0, 1, 2)
     # The stale entry stays inert; the fresh one is the one served.
     assert cached_workload("cpu_int", config) is source
     assert cache_info()["hits"] == 1
@@ -69,7 +70,30 @@ def test_clear_cache_resets_everything(config):
     cached_workload("cpu_int", config)
     cached_workload("cpu_int", config)
     clear_cache()
-    assert cache_info() == {"hits": 0, "misses": 0, "entries": 0}
+    assert all(v == 0 for v in cache_info().values())
+
+
+def test_compiled_cache_keyed_by_trace_content(config):
+    """The compiled-trace cache key is the instruction tuple itself:
+    identical content hits regardless of provenance, any content
+    change (a different workload here) builds a distinct entry."""
+    trace = tuple(cached_workload("cpu_int", config).repetition(0))
+    compiled = tracecache.compiled_trace(trace)
+    assert tracecache.compiled_trace(tuple(trace)) is compiled
+    info = cache_info()
+    assert (info["compiled_hits"], info["compiled_misses"]) == (1, 1)
+    other = tuple(cached_workload("ldint_l1", config).repetition(0))
+    assert tracecache.compiled_trace(other) is not compiled
+    assert cache_info()["compiled_entries"] == 2
+
+
+def test_compiled_cache_invalidated_by_clear(config):
+    trace = tuple(cached_workload("cpu_int", config).repetition(0))
+    compiled = tracecache.compiled_trace(trace)
+    clear_cache()
+    assert cache_info()["compiled_entries"] == 0
+    rebuilt = tracecache.compiled_trace(trace)
+    assert rebuilt is not compiled  # genuinely rebuilt, not served stale
 
 
 def test_worker_handshake_rejects_version_mismatch(config):
