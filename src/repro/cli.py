@@ -14,6 +14,12 @@ Usage::
     power5-repro cache                  # cache statistics
     power5-repro cache --clear          # purge cached results
     python -m repro figure5 --json results.json
+
+    power5-repro serve --port 8765 --service-workers 4
+    power5-repro all --backend http://127.0.0.1:8765
+    power5-repro submit table3,figure2 --backend http://127.0.0.1:8765
+    power5-repro status j1 --backend http://127.0.0.1:8765
+    power5-repro results j1 --backend http://127.0.0.1:8765
 """
 
 from __future__ import annotations
@@ -38,8 +44,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         help="experiment id (see 'list'), or 'all', 'list', 'cache' "
-             "(cache statistics / maintenance), or 'pmu' (instrument "
-             "one workload pair with the emulated PMU)")
+             "(cache statistics / maintenance), 'pmu' (instrument "
+             "one workload pair with the emulated PMU), 'serve' (run "
+             "the simulation job server), or the service client verbs "
+             "'submit'/'status'/'results'")
+    parser.add_argument(
+        "argument", nargs="?", default=None,
+        help="verb argument: experiment selection for 'submit' "
+             "(comma-separated ids or 'all'), job id for "
+             "'status'/'results'")
     parser.add_argument(
         "--preset", choices=("small", "default"), default="small",
         help="machine preset: 'small' (scaled caches, fast; default) "
@@ -132,6 +145,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="'chip' experiment: run each scheduled pair under a "
              "per-core closed-loop governor (static, ipc_balance, "
              "throughput_max)")
+    service = parser.add_argument_group(
+        "simulation service (distributed sweeps)")
+    service.add_argument(
+        "--backend", metavar="URL", default=None,
+        help="compute missing cells on this job server instead of "
+             "locally (e.g. http://127.0.0.1:8765); results are "
+             "byte-identical to a local run")
+    service.add_argument(
+        "--host", default="127.0.0.1", metavar="ADDR",
+        help="'serve': address to listen on")
+    service.add_argument(
+        "--port", type=int, default=8765, metavar="N",
+        help="'serve': port to listen on (0 = ephemeral)")
+    service.add_argument(
+        "--service-workers", type=int, default=2, metavar="N",
+        help="'serve': persistent simulation workers (0 = all cores)")
+    service.add_argument(
+        "--cell-timeout", type=float, default=300.0, metavar="S",
+        help="'serve': wall-clock budget per dispatched cell; an "
+             "overrun kills the worker and requeues the cell "
+             "(0 = unlimited)")
+    service.add_argument(
+        "--cell-retries", type=int, default=3, metavar="N",
+        help="'serve': retries per cell (crash/timeout/error) before "
+             "the cell is reported failed")
     return parser
 
 
@@ -179,6 +217,32 @@ def _validate_args(args) -> str | None:
                 "'governor' experiment")
     if args.pmu_sample and not (args.pmu or args.experiment == "pmu"):
         return "--pmu-sample requires --pmu (or the 'pmu' experiment)"
+    client_verbs = ("submit", "status", "results")
+    if args.argument is not None and args.experiment not in client_verbs:
+        return (f"positional argument {args.argument!r} only applies "
+                f"to the {'/'.join(client_verbs)} verbs")
+    if args.experiment in client_verbs and not args.backend:
+        return (f"'{args.experiment}' needs --backend URL "
+                f"(the job-server address)")
+    if args.experiment in ("status", "results") and not args.argument:
+        return (f"'{args.experiment}' needs a job id, e.g. "
+                f"power5-repro {args.experiment} j1 --backend URL")
+    if args.experiment == "serve":
+        if args.backend:
+            return ("'serve' runs a server; --backend selects one "
+                    "for the client verbs")
+        if not args.simcache:
+            return ("'serve' requires the result cache: workers "
+                    "publish results through it")
+    if not 0 <= args.port <= 65535:
+        return f"--port must be in 0..65535, got {args.port}"
+    if args.service_workers < 0:
+        return (f"--service-workers must be >= 0, "
+                f"got {args.service_workers}")
+    if args.cell_timeout < 0:
+        return f"--cell-timeout must be >= 0, got {args.cell_timeout}"
+    if args.cell_retries < 0:
+        return f"--cell-retries must be >= 0, got {args.cell_retries}"
     return None
 
 
@@ -191,19 +255,27 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.experiment == "cache":
         return _run_cache(args)
+    error = _validate_args(args)
+    if error is not None:
+        print(error, file=sys.stderr)
+        return 2
+    if args.experiment == "serve":
+        return _run_serve(args)
+    if args.experiment in ("status", "results"):
+        return _run_service_query(args)
     config = POWER5.small() if args.preset == "small" else POWER5.default()
     if args.reference:
         config = dataclasses.replace(config, fast_forward=False)
     if args.engine:
         config = dataclasses.replace(config, engine=args.engine)
-    error = _validate_args(args)
-    if error is not None:
-        print(error, file=sys.stderr)
-        return 2
     simcache = None
     if args.simcache:
         from repro.simcache import SimCache
         simcache = SimCache(args.simcache_dir)
+    backend = None
+    if args.backend:
+        from repro.service import ServiceBackend
+        backend = ServiceBackend(args.backend)
     ctx = ExperimentContext(config=config,
                             min_repetitions=args.min_reps,
                             max_cycles=args.max_cycles,
@@ -215,7 +287,10 @@ def main(argv: list[str] | None = None) -> int:
                             chip_cores=args.chip_cores,
                             chip_quota=args.chip_quota,
                             chip_governor=args.chip_governor,
-                            simcache=simcache)
+                            simcache=simcache,
+                            backend=backend)
+    if args.experiment == "submit":
+        return _run_submit(args, ctx)
     if args.experiment == "pmu":
         return _run_pmu(args, ctx)
     if args.experiment == "all":
@@ -228,25 +303,35 @@ def main(argv: list[str] | None = None) -> int:
               f"(or 'all', 'list', 'pmu')",
               file=sys.stderr)
         return 2
-    if len(ids) > 1:
-        # Cross-experiment planning: measure the deduplicated union of
-        # every cell up front (one batch, one worker pool); the
-        # per-experiment prefetches below then find everything cached.
-        from repro.experiments.planner import prefetch_all
-        start = time.time()
-        plan = prefetch_all(ctx, ids)
-        print(f"planned {plan['cells']} unique cells across "
-              f"{len(plan['experiments'])} experiments, "
-              f"simulated {plan['simulated']} "
-              f"[{time.time() - start:.1f}s]\n")
-    reports = []
-    for exp_id in ids:
-        start = time.time()
-        report = run_experiment(exp_id, ctx)
-        elapsed = time.time() - start
-        print(report)
-        print(f"   [{elapsed:.1f}s, {ctx.cached_runs()} cached runs]\n")
-        reports.append(report)
+    try:
+        if len(ids) > 1:
+            # Cross-experiment planning: measure the deduplicated
+            # union of every cell up front (one batch, one worker
+            # pool); the per-experiment prefetches below then find
+            # everything cached.
+            from repro.experiments.planner import prefetch_all
+            start = time.time()
+            plan = prefetch_all(ctx, ids)
+            print(f"planned {plan['cells']} unique cells across "
+                  f"{len(plan['experiments'])} experiments, "
+                  f"simulated {plan['simulated']} "
+                  f"[{time.time() - start:.1f}s]\n")
+        reports = []
+        for exp_id in ids:
+            start = time.time()
+            report = run_experiment(exp_id, ctx)
+            elapsed = time.time() - start
+            print(report)
+            print(f"   [{elapsed:.1f}s, {ctx.cached_runs()} cached runs]\n")
+            reports.append(report)
+    except Exception as exc:
+        from repro.service import ServiceError
+        if backend is not None and isinstance(exc, ServiceError):
+            print(exc, file=sys.stderr)
+            return 1
+        raise
+    if backend is not None:
+        _print_service_summary(backend)
     if simcache is not None and (simcache.hits or simcache.misses):
         if args.experiment == "all":
             # A full run just warmed every cell the suite has; fold
@@ -307,6 +392,99 @@ def _run_cache(args) -> int:
     print(f"trace cache (in-process): {info['entries']} entries, "
           f"{info['hits']} hits, {info['misses']} misses")
     return 0
+
+
+def _run_serve(args) -> int:
+    """The 'serve' verb: run the simulation job server until SIGTERM."""
+    from repro.service.server import ServerConfig, serve
+    return serve(ServerConfig(host=args.host, port=args.port,
+                              workers=args.service_workers,
+                              cell_timeout=args.cell_timeout,
+                              max_retries=args.cell_retries,
+                              cache_dir=args.simcache_dir))
+
+
+def _run_submit(args, ctx: ExperimentContext) -> int:
+    """The 'submit' verb: enqueue an experiment plan, do not wait.
+
+    Fire-and-forget companion of ``--backend`` (which runs the full
+    experiment and waits): submit the plan, print the job id, poll
+    later with 'status'/'results'.  Deferred cells (keys that are
+    functions of phase-1 results, e.g. the governor's transparent
+    policy) cannot be enumerated without the phase-1 values, so they
+    are reported rather than submitted.
+    """
+    from repro.experiments.planner import submission_cells
+    from repro.experiments.registry import resolve_ids
+    from repro.service import ServiceError
+    try:
+        ids = resolve_ids(args.argument or "all")
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    plan = submission_cells(ctx, ids)
+    if not plan["cells"]:
+        print(f"nothing to submit: {', '.join(ids)} plan no "
+              f"measurement cells")
+        return 0
+    from repro.service import ServiceClient, context_spec, encode_cell
+    client = ServiceClient(args.backend)
+    try:
+        submitted = client.submit(
+            context_spec(ctx),
+            [encode_cell(key) for key in plan["cells"]])
+    except ServiceError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    print(f"job {submitted['job']}: {submitted['total']} cells "
+          f"({submitted['cached']} cached, "
+          f"{submitted['coalesced']} coalesced, "
+          f"{submitted['queued']} queued) on {args.backend}")
+    if plan["deferred"]:
+        print(f"deferred cells not submitted ({', '.join(plan['deferred'])}"
+              f"): their keys depend on phase-1 results; run the "
+              f"experiments with --backend to compute them")
+    print(f"poll with: power5-repro status {submitted['job']} "
+          f"--backend {args.backend}")
+    return 0
+
+
+def _run_service_query(args) -> int:
+    """The 'status' and 'results' verbs."""
+    from repro.service import ServiceClient, ServiceError, decode_cell
+    client = ServiceClient(args.backend)
+    try:
+        if args.experiment == "status":
+            payload = client.status(args.argument)
+        else:
+            payload = client.results(args.argument)
+    except ServiceError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    print(f"job {payload['job']}: {payload['state']} -- "
+          f"{payload['done']}/{payload['total']} done, "
+          f"{payload['failed']} failed, {payload['running']} running, "
+          f"{payload['queued']} queued, {payload['retries']} retries")
+    for row in payload.get("cells", ()):
+        line = f"  {row['state']:<8} {decode_cell(row['key'])!r}"
+        if row["error"]:
+            line += f"  [{row['error']}]"
+        print(line)
+    return 0 if payload["state"] != "failed" else 1
+
+
+def _print_service_summary(backend) -> None:
+    """One dedup/throughput line after a --backend run (stderr, so
+    stdout stays byte-identical to a local run)."""
+    try:
+        dedup = backend.client.metrics()["dedup"]
+    except Exception:
+        return
+    print(f"[service] server totals: {dedup['submitted']} submitted, "
+          f"{dedup['cached']} cached, {dedup['coalesced']} coalesced, "
+          f"{dedup['computed']} computed, {dedup['retries']} retries "
+          f"(dedup hit rate {dedup['hit_rate']:.0%})",
+          file=sys.stderr)
 
 
 def _run_pmu(args, ctx: ExperimentContext) -> int:

@@ -148,6 +148,14 @@ class ExperimentContext:
     #: freshly simulated cells are bit-identical (differential-tested),
     #: so enabling it never changes a reported number.
     simcache: object = field(default=None, repr=False)
+    #: Optional remote execution backend (duck-typed:
+    #: ``compute_cells(ctx, keys)`` yielding ``(key, value)`` in input
+    #: order, e.g. :class:`repro.service.ServiceBackend`).  When set,
+    #: cells missing from both caches are computed by the service's
+    #: worker pool instead of this process; results are verified
+    #: against locally computed cache keys, so they are byte-identical
+    #: to local runs.  Takes precedence over ``jobs``.
+    backend: object = field(default=None, repr=False)
     _cache: dict = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
@@ -353,7 +361,11 @@ class ExperimentContext:
             else:
                 resolved[key] = value
         if missing:
-            if self.jobs == 1 or len(missing) == 1:
+            if self.backend is not None:
+                for key, value in self.backend.compute_cells(self, missing):
+                    resolved[key] = value
+                    self._simcache_store(key, value)
+            elif self.jobs == 1 or len(missing) == 1:
                 for key in missing:
                     resolved[key] = self.compute_cell(key)
                     self._simcache_store(key, resolved[key])
@@ -371,7 +383,10 @@ class ExperimentContext:
         if key not in self._cache:
             value = self._simcache_lookup(key)
             if value is None:
-                value = self.compute_cell(key)
+                if self.backend is not None:
+                    ((_, value),) = self.backend.compute_cells(self, [key])
+                else:
+                    value = self.compute_cell(key)
                 self._simcache_store(key, value)
             self._cache[key] = value
         return self._cache[key]

@@ -85,6 +85,21 @@ def planned_cells(ctx: ExperimentContext,
     return list(dict.fromkeys(phase1)), deferred
 
 
+def submission_cells(ctx: ExperimentContext, experiment_ids) -> dict:
+    """The service-submittable plan of ``experiment_ids``.
+
+    Returns ``{"cells": [...], "deferred": [...]}``: the deduplicated
+    phase-1 cell list (what a client submits to the job server up
+    front) and the ids whose deferred planners need phase-1 results
+    before their remaining cells are knowable (the client submits
+    those as a second round once the first resolves).
+    """
+    ids = list(experiment_ids)
+    phase1, _ = planned_cells(ctx, ids)
+    return {"cells": phase1,
+            "deferred": [eid for eid in ids if eid in DEFERRED_PLANNERS]}
+
+
 def prefetch_all(ctx: ExperimentContext, experiment_ids) -> dict:
     """Measure the union of all cells ``experiment_ids`` will consume.
 

@@ -41,6 +41,28 @@ EXPERIMENTS: dict[str, Callable[[ExperimentContext | None],
 }
 
 
+def resolve_ids(selector) -> list[str]:
+    """Expand an experiment selector into a validated id list.
+
+    Accepts ``"all"`` (every experiment, registry order), a single id,
+    a comma-separated string (``"table3,figure2"``), or an iterable of
+    ids.  Raises ``ValueError`` naming the unknown ids otherwise.
+    Shared by the CLI, ``run_many`` and the service ``submit`` verb so
+    every entry point spells selection identically.
+    """
+    if isinstance(selector, str):
+        if selector == "all":
+            return list(EXPERIMENTS)
+        ids = [part.strip() for part in selector.split(",") if part.strip()]
+    else:
+        ids = list(selector)
+    unknown = [eid for eid in ids if eid not in EXPERIMENTS]
+    if unknown:
+        raise ValueError(f"unknown experiments {unknown}; "
+                         f"available: {sorted(EXPERIMENTS)}")
+    return ids
+
+
 def run_experiment(experiment_id: str,
                    ctx: ExperimentContext | None = None,
                    ) -> ExperimentReport:
@@ -68,11 +90,7 @@ def run_many(experiment_ids, ctx: ExperimentContext | None = None,
     # some of which the package __init__ only loads after this one.
     from repro.experiments.planner import prefetch_all
     ctx = ctx or ExperimentContext()
-    ids = list(experiment_ids)
-    unknown = [eid for eid in ids if eid not in EXPERIMENTS]
-    if unknown:
-        raise ValueError(f"unknown experiments {unknown}; "
-                         f"available: {sorted(EXPERIMENTS)}")
+    ids = resolve_ids(experiment_ids)
     if len(ids) > 1:  # a single experiment plans its own cells
         prefetch_all(ctx, ids)
     return [EXPERIMENTS[eid](ctx) for eid in ids]

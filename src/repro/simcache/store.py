@@ -36,15 +36,30 @@ its blob.  The CLI packs automatically after a full ``all`` run.
 Lookups consult the shard index first and fall back to per-cell
 files, so a cell stored after packing (or a corrupt shard) behaves
 exactly as before packing existed.
+
+The store is multi-writer safe by construction: every mutation lands
+as a uniquely named file moved into place with ``os.replace``.  That
+discipline extends to the session statistics -- each
+:meth:`SimCache.flush_stats` spools its counters as its own delta
+file instead of read-modify-writing a shared ``stats.json`` (which
+would lose counts whenever two writers raced), and a lock-guarded
+compaction folds the deltas in opportunistically.  Long-lived
+processes (the simulation service's server and workers) additionally
+register a :meth:`SimCache.hold`; :meth:`SimCache.pack` refuses to
+run while any live holder exists, so a CLI ``all`` auto-pack can
+never pull per-cell files out from under a running service.
 """
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
 import pathlib
 import pickle
+import time
+import uuid
 
 #: Version of the stored result format.  Bump whenever the shape of
 #: cached values (ThreadMetrics/PairMetrics/ScheduleResult or anything
@@ -67,6 +82,30 @@ _SHARD_MAGIC = b"P5SHARD\x01"
 
 #: The single consolidated shard file (one per cache directory).
 _SHARD_NAME = "entries.shard"
+
+#: Directory of hold markers: one file per process that keeps the
+#: cache open for a long time (service servers and their workers).
+#: :meth:`SimCache.pack` skips while any live holder exists.
+_HOLDS_DIR = "holds"
+
+#: A hold file whose process cannot be probed is still trusted for
+#: this long; beyond it, an unreadable hold is treated as stale.
+_HOLD_STALE_S = 24 * 3600.0
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe of another process."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    except OSError:
+        return False
+    return True
 
 
 def default_cache_dir() -> pathlib.Path:
@@ -117,8 +156,43 @@ class SimCache:
     def _digest(key: tuple) -> str:
         return hashlib.sha256(repr(key).encode()).hexdigest()
 
+    @staticmethod
+    def key_digest(key: tuple) -> str:
+        """The on-disk entry name of ``key`` (SHA-256 of its repr).
+
+        Public for the simulation service, whose wire protocol moves
+        digests instead of pickled values: workers store results here
+        and the server hands clients the digest to fetch them by.
+        """
+        return SimCache._digest(key)
+
     def _path(self, key: tuple) -> pathlib.Path:
         return self.root / f"{self._digest(key)}.pkl"
+
+    def raw_entry(self, digest: str) -> bytes | None:
+        """The raw pickled ``(key, value)`` blob stored under ``digest``.
+
+        Served verbatim by the job server's ``/entry`` endpoint so
+        clients without filesystem access to the cache directory can
+        fetch results; the client verifies the pickled key against its
+        own locally computed cache key.  None when the digest is
+        unknown (or every copy is unreadable).
+        """
+        entry = self._load_shard_index().get(digest)
+        if entry is not None:
+            offset, length = entry
+            try:
+                with open(self._shard_path(), "rb") as fh:
+                    fh.seek(offset)
+                    blob = fh.read(length)
+                if len(blob) == length:
+                    return blob
+            except OSError:
+                pass
+        try:
+            return (self.root / f"{digest}.pkl").read_bytes()
+        except OSError:
+            return None
 
     def lookup(self, key: tuple):
         """The cached value for ``key``, or the module's miss sentinel.
@@ -235,7 +309,22 @@ class SimCache:
         per-cell files are deleted only after the replace succeeds, so
         an interrupted pack costs nothing.  Returns the number of
         entries the new shard holds (0 on failure or an empty cache).
+
+        Packing is skipped entirely (returning 0) while any *live*
+        process holds the cache open (see :meth:`hold`) or another
+        pack is in flight: deleting per-cell files under a long-lived
+        service worker would downgrade its fresh stores to stale shard
+        copies mid-run.  Skipping costs nothing -- the next holder-free
+        ``all`` run packs instead.
         """
+        if self._live_holds():
+            return 0
+        with self._try_lock("pack.lock", stale_after=300.0) as locked:
+            if not locked:
+                return 0
+            return self._pack_locked()
+
+    def _pack_locked(self) -> int:
         blobs: dict[str, bytes] = {}
         index = self._load_shard_index()
         try:
@@ -289,6 +378,93 @@ class SimCache:
         self._shard_index = None  # reload from the new shard
         return len(blobs)
 
+    # -- locks and holds ------------------------------------------------
+
+    @contextlib.contextmanager
+    def _try_lock(self, name: str, stale_after: float = 30.0):
+        """Best-effort exclusive lock file; yields whether it was won.
+
+        ``O_CREAT | O_EXCL`` is atomic on every filesystem the cache
+        targets.  A lock older than ``stale_after`` seconds is broken
+        (its holder crashed); contention is never waited out -- callers
+        treat "not acquired" as "someone else is doing the work".
+        """
+        path = self.root / name
+        acquired = False
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            for _ in range(2):
+                try:
+                    fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                    os.write(fd, str(os.getpid()).encode())
+                    os.close(fd)
+                    acquired = True
+                    break
+                except FileExistsError:
+                    try:
+                        age = time.time() - path.stat().st_mtime
+                    except OSError:
+                        continue  # released between open and stat; retry
+                    if age <= stale_after:
+                        break
+                    try:
+                        path.unlink()
+                    except OSError:
+                        break
+        except OSError:
+            pass
+        try:
+            yield acquired
+        finally:
+            if acquired:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+
+    def hold(self) -> "_CacheHold":
+        """Mark this process as holding the cache open (context manager).
+
+        Long-lived processes -- the job server and its persistent
+        workers -- enter a hold for their lifetime so that
+        :meth:`pack` (e.g. the CLI's auto-pack after ``all``) skips
+        rather than deleting per-cell files out from under them.
+        Holds of dead processes are ignored and reaped; failing to
+        create the marker degrades to not being protected, never to an
+        error.
+        """
+        return _CacheHold(self)
+
+    def _live_holds(self) -> list[pathlib.Path]:
+        """Hold markers whose owning process is still alive.
+
+        Markers of dead owners are reaped on the way; unreadable
+        markers are trusted while young (their writer may be mid-way)
+        and reaped once stale.
+        """
+        live = []
+        try:
+            holds = sorted((self.root / _HOLDS_DIR).glob("*.hold"))
+        except OSError:
+            return []
+        for path in holds:
+            try:
+                pid = int(path.read_text().strip())
+            except (OSError, ValueError):
+                pid = None
+            if pid is not None and _pid_alive(pid):
+                live.append(path)
+                continue
+            try:
+                if pid is None and (time.time() - path.stat().st_mtime
+                                    <= _HOLD_STALE_S):
+                    live.append(path)
+                else:
+                    path.unlink()
+            except OSError:
+                pass
+        return live
+
     # -- maintenance ----------------------------------------------------
 
     def entries(self) -> list[pathlib.Path]:
@@ -340,6 +516,10 @@ class SimCache:
         try:
             for tmp in self.root.glob("*.tmp*"):
                 tmp.unlink()
+            for delta in self.root.glob("stats-delta.*.json"):
+                delta.unlink()
+            for lock in self.root.glob("*.lock"):
+                lock.unlink()
             self._shard_path().unlink(missing_ok=True)
             (self.root / "stats.json").unlink(missing_ok=True)
         except OSError:
@@ -348,33 +528,48 @@ class SimCache:
         return removed
 
     def flush_stats(self) -> None:
-        """Fold this session's counters into ``stats.json`` on disk.
+        """Persist this session's counters; cumulative across runs.
 
-        Cumulative across invocations; read back by the ``cache``
-        CLI subcommand's hit-rate report.  Best-effort like all other
-        I/O here.
+        Read back by the ``cache`` CLI subcommand's hit-rate report.
+        A naive read-modify-write of one shared ``stats.json`` loses
+        counts whenever two writers race (several service workers plus
+        the server flush concurrently), so each flush spools its
+        counters as a *uniquely named* delta file written with the
+        same atomic temp-file + ``os.replace`` discipline as cell
+        entries; readers sum ``stats.json`` plus outstanding deltas.
+        A lock-guarded compaction then folds deltas into
+        ``stats.json`` opportunistically -- writers never contend.
+        The flushed counters are reset, so flushing is safe to repeat.
+        Best-effort like all other I/O here.
         """
-        path = self.root / "stats.json"
-        totals = {"hits": 0, "misses": 0, "stores": 0}
-        try:
-            totals.update({k: int(v)
-                           for k, v in json.loads(path.read_text()).items()
-                           if k in totals})
-        except (OSError, ValueError):
-            pass
-        totals["hits"] += self.hits
-        totals["misses"] += self.misses
-        totals["stores"] += self.stores
+        delta = {"hits": self.hits, "misses": self.misses,
+                 "stores": self.stores}
+        if not any(delta.values()):
+            self._compact_stats()
+            return
+        name = f"stats-delta.{os.getpid()}.{uuid.uuid4().hex[:8]}.json"
+        path = self.root / name
+        tmp = path.with_name(f"{name}.tmp{os.getpid()}")
         try:
             self.root.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_name(f"stats.tmp{os.getpid()}")
-            tmp.write_text(json.dumps(totals, indent=2) + "\n")
+            tmp.write_text(json.dumps(delta) + "\n")
             os.replace(tmp, path)
         except OSError:
-            pass
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return
+        self.hits = self.misses = self.stores = 0
+        self._compact_stats()
 
-    def persistent_stats(self) -> dict:
-        """The cumulative ``stats.json`` counters (zeros if absent)."""
+    def _stats_delta_files(self) -> list[pathlib.Path]:
+        try:
+            return sorted(self.root.glob("stats-delta.*.json"))
+        except OSError:
+            return []
+
+    def _read_stats_file(self) -> dict:
         totals = {"hits": 0, "misses": 0, "stores": 0}
         try:
             data = json.loads((self.root / "stats.json").read_text())
@@ -383,3 +578,81 @@ class SimCache:
         except (OSError, ValueError):
             pass
         return totals
+
+    def _compact_stats(self) -> None:
+        """Fold outstanding delta files into ``stats.json`` (guarded).
+
+        Only one compactor runs at a time; a busy lock means someone
+        else is folding and this writer's delta is already safely on
+        disk.  ``stats.json`` is replaced before the folded deltas are
+        unlinked: a crash inside that window can double-count those
+        deltas once, but no interleaving can ever *lose* a count --
+        the failure the old read-modify-write scheme had.
+        """
+        with self._try_lock("stats.lock", stale_after=10.0) as locked:
+            if not locked:
+                return
+            deltas = self._stats_delta_files()
+            if not deltas:
+                return
+            totals = self._read_stats_file()
+            for path in deltas:
+                try:
+                    data = json.loads(path.read_text())
+                    for key in totals:
+                        totals[key] += int(data.get(key, 0))
+                except (OSError, ValueError):
+                    pass  # unreadable delta: drop it below
+            path = self.root / "stats.json"
+            tmp = path.with_name(f"stats.tmp{os.getpid()}")
+            try:
+                tmp.write_text(json.dumps(totals, indent=2) + "\n")
+                os.replace(tmp, path)
+            except OSError:
+                return  # keep the deltas; nothing was folded
+            for delta in deltas:
+                try:
+                    delta.unlink()
+                except OSError:
+                    pass
+
+    def persistent_stats(self) -> dict:
+        """Cumulative counters: ``stats.json`` plus unfolded deltas."""
+        totals = self._read_stats_file()
+        for path in self._stats_delta_files():
+            try:
+                data = json.loads(path.read_text())
+                for key in totals:
+                    totals[key] += int(data.get(key, 0))
+            except (OSError, ValueError):
+                pass
+        return totals
+
+
+class _CacheHold:
+    """Context manager behind :meth:`SimCache.hold`."""
+
+    def __init__(self, cache: SimCache) -> None:
+        self._cache = cache
+        self._path: pathlib.Path | None = None
+
+    def __enter__(self) -> "_CacheHold":
+        holds = self._cache.root / _HOLDS_DIR
+        try:
+            holds.mkdir(parents=True, exist_ok=True)
+            name = f"{os.getpid()}.{uuid.uuid4().hex[:8]}.hold"
+            tmp = holds / f"{name}.tmp{os.getpid()}"
+            tmp.write_text(str(os.getpid()))
+            os.replace(tmp, holds / name)
+            self._path = holds / name
+        except OSError:
+            self._path = None
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._path is not None:
+            try:
+                self._path.unlink()
+            except OSError:
+                pass
+            self._path = None

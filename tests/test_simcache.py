@@ -354,6 +354,95 @@ def test_clear_removes_shard(tmp_path):
     assert not (tmp_path / "entries.shard").exists()
 
 
+def test_pack_skipped_while_cache_is_held(tmp_path):
+    """pack() refuses while a live process holds the cache open --
+    deleting per-cell files under a running service would downgrade
+    its fresh stores to stale shard copies."""
+    cache = SimCache(tmp_path)
+    cache.store(("a",), 1)
+    cache.store(("b",), 2)
+    with cache.hold():
+        assert cache.pack() == 0
+        assert len(cache.entries()) == 2  # untouched
+        assert not (tmp_path / "entries.shard").exists()
+    assert cache.pack() == 2  # hold released: packing proceeds
+    assert cache.entries() == []
+
+
+def test_pack_ignores_dead_and_stale_holds(tmp_path):
+    """Holds of dead processes are reaped, not honoured forever."""
+    cache = SimCache(tmp_path)
+    cache.store(("a",), 1)
+    holds = tmp_path / "holds"
+    holds.mkdir()
+    (holds / "99999999.dead.hold").write_text("99999999")  # no such pid
+    stale = holds / "unreadable.hold"
+    stale.write_text("not-a-pid")
+    old = simstore._HOLD_STALE_S + 60
+    import os
+    import time as time_mod
+    os.utime(stale, (time_mod.time() - old, time_mod.time() - old))
+    assert cache.pack() == 1  # both holds dismissed
+    assert list(holds.glob("*.hold")) == []  # and reaped
+
+
+def test_pack_lock_prevents_concurrent_packs(tmp_path):
+    """A fresh pack.lock makes pack() yield; a stale one is broken."""
+    import os
+    import time as time_mod
+    cache = SimCache(tmp_path)
+    cache.store(("a",), 1)
+    lock = tmp_path / "pack.lock"
+    lock.write_text("12345")
+    assert cache.pack() == 0  # someone else is packing
+    assert lock.exists()  # their lock untouched
+    old = time_mod.time() - 3600
+    os.utime(lock, (old, old))  # holder crashed an hour ago
+    assert cache.pack() == 1
+    assert not lock.exists()
+
+
+def _flush_stats_worker(root):
+    """Module-level for multiprocessing picklability."""
+    cache = SimCache(root)
+    cache.hits, cache.misses, cache.stores = 3, 2, 1
+    cache.flush_stats()
+
+
+def test_concurrent_stats_flushes_lose_nothing(tmp_path):
+    """N processes flushing counters concurrently sum exactly -- the
+    read-modify-write race the delta-spool design eliminates."""
+    import multiprocessing
+    ctx = multiprocessing.get_context("fork")
+    procs = [ctx.Process(target=_flush_stats_worker, args=(tmp_path,))
+             for _ in range(8)]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join(timeout=30)
+        assert proc.exitcode == 0
+    cache = SimCache(tmp_path)
+    assert cache.persistent_stats() == {"hits": 24, "misses": 16,
+                                        "stores": 8}
+
+
+def test_stats_compaction_folds_deltas(tmp_path):
+    """Deltas fold into stats.json without changing the totals, and a
+    flush with zeroed counters is a pure compaction."""
+    for _ in range(3):
+        writer = SimCache(tmp_path)
+        writer.hits, writer.misses, writer.stores = 5, 1, 2
+        writer.flush_stats()
+        # flush resets the session counters: repeat flushes are no-ops.
+        assert (writer.hits, writer.misses, writer.stores) == (0, 0, 0)
+        writer.flush_stats()
+    cache = SimCache(tmp_path)
+    assert cache.persistent_stats() == {"hits": 15, "misses": 3,
+                                        "stores": 6}
+    assert list(tmp_path.glob("stats-delta.*.json")) == []  # folded
+    assert (tmp_path / "stats.json").exists()
+
+
 def test_values_pickle_stably(tmp_path):
     """Cached values roundtrip through pickle without drift."""
     ctx = _ctx(tmp_path)
