@@ -1,0 +1,85 @@
+"""Bench: design-space exploration, cold vs warm through the cache.
+
+The ``dse`` experiment simulates a small PMU-instrumented cell matrix
+once and prices the full (node x frequency x cores) design space as
+post-hoc arithmetic.  That split is the performance claim: a warm
+sweep re-prices hundreds of design points without simulating anything,
+so it must be dominated by cache reads and float math.
+
+Cold and warm runs against one cache directory must render identical
+reports, the warm run must serve every cell from disk, and the warm
+wall-clock is gated at ``WARM_FLOOR`` times faster than cold.
+Results land in the ``"dse"`` section of ``BENCH_simcore.json`` via
+read-modify-write, so this section and the engine bench's wholesale
+rewrite never clobber each other.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import tempfile
+import time
+
+from repro.config import POWER5
+from repro.experiments import ExperimentContext, run_many
+from repro.simcache import SimCache
+from repro.workloads.tracecache import clear_cache
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Minimum cold/warm wall-clock ratio for the dse sweep.
+WARM_FLOOR = 3.0
+
+
+def _run_dse(cache_dir):
+    """One planned dse run; returns (report, wall, cache stats)."""
+    clear_cache()
+    cache = SimCache(cache_dir)
+    ctx = ExperimentContext(config=POWER5.small(), min_repetitions=3,
+                            max_cycles=2_500_000, pmu=True,
+                            simcache=cache)
+    start = time.perf_counter()
+    (report,) = run_many(["dse"], ctx)
+    wall = time.perf_counter() - start
+    return report, wall, cache.stats()
+
+
+def test_bench_dse_cold_vs_warm(save_report):
+    with tempfile.TemporaryDirectory() as tmp:
+        cold_report, cold_wall, cold_stats = _run_dse(tmp)
+        warm_report, warm_wall, warm_stats = _run_dse(tmp)
+    save_report(cold_report)
+
+    # Transparency: pricing is pure arithmetic over cached counters.
+    assert repr(cold_report) == repr(warm_report)
+    assert cold_stats["stores"] == cold_stats["misses"] > 0
+    assert warm_stats["misses"] == 0
+
+    claims = cold_report.data["claims"]
+    speedup = cold_wall / warm_wall if warm_wall else None
+    section = {
+        "cold_wall_s": round(cold_wall, 2),
+        "warm_wall_s": round(warm_wall, 2),
+        "speedup_warm": round(speedup, 2) if speedup else None,
+        "design_points": len(cold_report.data["points"]),
+        "pareto_points": len(cold_report.data["pareto"]),
+        "cells_cached": cold_stats["stores"],
+        "governed_cap_ratio": round(claims["governed_cap_ratio"], 4),
+        "lowest_power_all_1v1": claims["lowest_power_all_1v1"],
+        "reports_identical": True,
+    }
+
+    # Read-modify-write: only this bench owns the "dse" section.
+    out = ROOT / "BENCH_simcore.json"
+    try:
+        payload = json.loads(out.read_text())
+    except (OSError, ValueError):
+        payload = {}
+    payload["dse"] = section
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    assert claims["governed_holds_cap"]
+    assert speedup is not None and speedup >= WARM_FLOOR, (
+        f"warm dse sweep only {speedup:.2f}x faster than cold "
+        f"({warm_wall:.2f}s vs {cold_wall:.2f}s), floor {WARM_FLOOR}")

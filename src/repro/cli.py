@@ -10,6 +10,8 @@ Usage::
     power5-repro pmu --primary cpu_int --secondary ldint_mem --diff 4
     power5-repro governor --jobs 4
     power5-repro table3 --governor ipc_balance --governor-epoch 500
+    power5-repro dse                    # throughput-per-watt sweep
+    power5-repro dse --energy-node 22 --energy-freq 0.8
     power5-repro all --no-simcache      # force fresh simulation
     power5-repro cache                  # cache statistics
     power5-repro cache --clear          # purge cached results
@@ -145,6 +147,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="'chip' experiment: run each scheduled pair under a "
              "per-core closed-loop governor (static, ipc_balance, "
              "throughput_max)")
+    energy = parser.add_argument_group("energy model / DSE")
+    energy.add_argument(
+        "--energy-node", type=int, default=45, metavar="NM",
+        help="technology node for energy reporting and the governed "
+             "energy_budget cells (45, 32, 22 or 14; default 45)")
+    energy.add_argument(
+        "--energy-freq", type=float, default=1.0, metavar="F",
+        help="DVFS frequency fraction in (0, 1] for energy reporting "
+             "(default 1.0 = the node's nominal clock)")
     service = parser.add_argument_group(
         "simulation service (distributed sweeps)")
     service.add_argument(
@@ -215,8 +226,17 @@ def _validate_args(args) -> str | None:
         return ("--governor-epoch is set but nothing consumes it: "
                 "select --governor or --chip-governor, or run the "
                 "'governor' experiment")
-    if args.pmu_sample and not (args.pmu or args.experiment == "pmu"):
-        return "--pmu-sample requires --pmu (or the 'pmu' experiment)"
+    if args.pmu_sample and not (args.pmu
+                                or args.experiment in ("pmu", "dse")):
+        return ("--pmu-sample requires --pmu (or the 'pmu'/'dse' "
+                "experiments)")
+    from repro.energy import TECH_NODES
+    if args.energy_node not in TECH_NODES:
+        return (f"--energy-node must be one of "
+                f"{', '.join(str(n) for n in sorted(TECH_NODES))}, "
+                f"got {args.energy_node}")
+    if not 0.0 < args.energy_freq <= 1.0:
+        return f"--energy-freq must be in (0, 1], got {args.energy_freq}"
     client_verbs = ("submit", "status", "results")
     if args.argument is not None and args.experiment not in client_verbs:
         return (f"positional argument {args.argument!r} only applies "
@@ -280,13 +300,16 @@ def main(argv: list[str] | None = None) -> int:
                             min_repetitions=args.min_reps,
                             max_cycles=args.max_cycles,
                             jobs=args.jobs,
-                            pmu=args.pmu or args.experiment == "pmu",
+                            pmu=args.pmu
+                            or args.experiment in ("pmu", "dse"),
                             pmu_sample=args.pmu_sample,
                             governor=args.governor,
                             governor_epoch=args.governor_epoch,
                             chip_cores=args.chip_cores,
                             chip_quota=args.chip_quota,
                             chip_governor=args.chip_governor,
+                            energy_node=args.energy_node,
+                            energy_freq=args.energy_freq,
                             simcache=simcache,
                             backend=backend)
     if args.experiment == "submit":
@@ -375,9 +398,21 @@ def _run_cache(args) -> int:
     from repro.workloads import tracecache
     cache = SimCache(args.simcache_dir)
     if args.clear:
-        removed = cache.clear()
+        swept = cache.clear()
         tracecache.clear_cache()
+        removed = swept["entries"] + swept["packed"]
         print(f"cleared {removed} cached results from {cache.root}")
+        extra = ", ".join(
+            f"{swept[key]} {label}" for key, label in (
+                ("spool", "spool/stats files"),
+                ("locks", "lock files"),
+                ("holds", "stale hold markers"))
+            if swept[key])
+        if extra:
+            print(f"  also swept: {extra}")
+        if swept["live_holds"]:
+            print(f"  kept {swept['live_holds']} live hold marker(s): "
+                  f"owning processes are still running")
         return 0
     stats = cache.stats()
     totals = cache.persistent_stats()
@@ -490,7 +525,8 @@ def _print_service_summary(backend) -> None:
 def _run_pmu(args, ctx: ExperimentContext) -> int:
     """The 'pmu' experiment: instrument one measurement and dump it."""
     from repro.experiments.report import (render_counters,
-                                          render_cpi_stacks)
+                                          render_cpi_stacks,
+                                          render_energy)
     secondary = None if args.secondary in (None, "none") else args.secondary
     if secondary is not None:
         metrics = ctx.pair_at_diff(args.primary, secondary, args.diff)
@@ -504,25 +540,32 @@ def _run_pmu(args, ctx: ExperimentContext) -> int:
     print()
     print(render_cpi_stacks(
         [(label, stack) for stack in report.cpi_stacks()]))
+    print()
+    print(render_energy([(label, report)], ctx.energy_config()))
     if report.samples:
         print(f"\n{len(report.samples)} interval samples "
               f"(period {report.sample_period} cycles)")
     if report.fame_samples:
         print(f"{len(report.fame_samples)} FAME convergence points")
-    _export_pmu([(label, report)], args, default_stem="pmu")
+    _export_pmu([(label, report)], args, default_stem="pmu",
+                energy=ctx.energy_config())
     return 0
 
 
 def _print_pmu_appendix(args, ctx: ExperimentContext) -> None:
-    """CPI-stack appendix + trace export after instrumented runs."""
-    from repro.experiments.report import render_cpi_stacks
+    """CPI-stack + energy appendix and trace export after
+    instrumented runs."""
+    from repro.experiments.report import render_cpi_stacks, render_energy
     labelled = ctx.pmu_reports()
     if not labelled:
         return
     stacks = [(label, stack) for label, report in labelled
               for stack in report.cpi_stacks()]
     print(render_cpi_stacks(stacks, title="PMU CPI stacks"))
-    _export_pmu(labelled, args, default_stem=args.experiment)
+    print()
+    print(render_energy(labelled, ctx.energy_config()))
+    _export_pmu(labelled, args, default_stem=args.experiment,
+                energy=ctx.energy_config())
 
 
 def _export_scheduler_trace(args, ctx: ExperimentContext) -> None:
@@ -542,15 +585,17 @@ def _export_scheduler_trace(args, ctx: ExperimentContext) -> None:
     print(f"wrote {path} ({count} scheduler trace events)")
 
 
-def _export_pmu(labelled_reports, args, default_stem: str) -> None:
+def _export_pmu(labelled_reports, args, default_stem: str,
+                energy=None) -> None:
     from repro.pmu import report_records, write_chrome_trace, write_jsonl
     trace_path = args.pmu_trace or f"pmu_{default_stem}.trace.json"
-    count = write_chrome_trace(trace_path, labelled_reports)
+    count = write_chrome_trace(trace_path, labelled_reports,
+                               energy=energy)
     print(f"wrote {trace_path} ({count} trace events)")
     if args.pmu_jsonl:
         records = []
         for label, report in labelled_reports:
-            records.extend(report_records(report, label))
+            records.extend(report_records(report, label, energy=energy))
         count = write_jsonl(args.pmu_jsonl, records)
         print(f"wrote {args.pmu_jsonl} ({count} records)")
 

@@ -1,0 +1,39 @@
+"""Post-hoc energy/power model over the emulated PMU's counters.
+
+See DESIGN.md §9 for the post-hoc vs in-loop decision and why
+tech-node scaling lives outside the core model.
+"""
+
+from repro.energy.config import (
+    DEFAULT_STATIC_POWER_W,
+    DEFAULT_WEIGHTS,
+    EnergyConfig,
+)
+from repro.energy.model import (
+    EnergyReport,
+    energy_from_bank,
+    energy_from_totals,
+    epoch_power_w,
+    pareto_frontier,
+)
+from repro.energy.scaling import (
+    TECH_NODES,
+    TechNode,
+    dvfs_voltage_frac,
+    tech_node,
+)
+
+__all__ = [
+    "DEFAULT_STATIC_POWER_W",
+    "DEFAULT_WEIGHTS",
+    "EnergyConfig",
+    "EnergyReport",
+    "energy_from_bank",
+    "energy_from_totals",
+    "epoch_power_w",
+    "pareto_frontier",
+    "TECH_NODES",
+    "TechNode",
+    "dvfs_voltage_frac",
+    "tech_node",
+]

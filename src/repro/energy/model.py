@@ -1,0 +1,222 @@
+"""Counter-to-energy conversion and the ``EnergyReport`` value type.
+
+Energy here is strictly *post-hoc*: a report is computed from a
+finished run's counters and cycle count, never inside the simulation
+loop.  That buys three things at once -- bit-identity across engines
+(same counters => same joules), free re-pricing of cached performance
+results at any (node, frequency) operating point, and zero simulation
+overhead.  The one consumer that needs energy *during* a run (the
+``energy_budget`` governor policy) applies the same pure function to
+per-epoch counter deltas the governor already observes.
+
+All sums iterate events in ``EVENT_NAMES`` order so float accumulation
+is deterministic regardless of how the weight mapping was built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Mapping
+
+from repro.energy.config import EnergyConfig
+from repro.pmu.counters import CounterBank
+from repro.pmu.events import EVENT_NAMES
+
+_PJ = 1e-12  # picojoules -> joules
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy/power summary of one run at one operating point.
+
+    ``thread_dynamic_j`` / ``thread_retired`` carry the per-thread
+    split when the source counters had per-thread resolution (SMT
+    pairs); single-aggregate sources leave them empty.  ``cores``
+    scales the static contribution and the throughput numbers for
+    chip-level aggregates where one counter total spans N cores.
+    """
+
+    node: int
+    freq_ghz: float
+    cycles: int
+    cores: int
+    retired: int
+    dynamic_j: float
+    static_j: float
+    thread_dynamic_j: tuple[float, ...] = ()
+    thread_retired: tuple[int, ...] = ()
+
+    # -- derived ------------------------------------------------------
+
+    @property
+    def seconds(self) -> float:
+        if self.freq_ghz <= 0:
+            return 0.0
+        return self.cycles / (self.freq_ghz * 1e9)
+
+    @property
+    def total_j(self) -> float:
+        return self.dynamic_j + self.static_j
+
+    @property
+    def avg_power_w(self) -> float:
+        s = self.seconds
+        return self.total_j / s if s > 0 else 0.0
+
+    @property
+    def dynamic_power_w(self) -> float:
+        s = self.seconds
+        return self.dynamic_j / s if s > 0 else 0.0
+
+    @property
+    def static_power_w(self) -> float:
+        s = self.seconds
+        return self.static_j / s if s > 0 else 0.0
+
+    @property
+    def edp_js(self) -> float:
+        """Energy-delay product, joule-seconds."""
+        return self.total_j * self.seconds
+
+    @property
+    def mips(self) -> float:
+        s = self.seconds
+        return self.retired / s / 1e6 if s > 0 else 0.0
+
+    @property
+    def mips_per_watt(self) -> float:
+        w = self.avg_power_w
+        return self.mips / w if w > 0 else 0.0
+
+    def thread_power_w(self, thread_id: int) -> float:
+        """Dynamic power attributed to one thread (static is shared)."""
+        s = self.seconds
+        if s <= 0 or thread_id >= len(self.thread_dynamic_j):
+            return 0.0
+        return self.thread_dynamic_j[thread_id] / s
+
+    def scaled(self, cores: int) -> "EnergyReport":
+        """This report replicated across ``cores`` identical cores.
+
+        Models a homogeneous chip running one copy of the workload per
+        core: energy and throughput multiply, time does not.
+        """
+        if cores < 1:
+            raise ValueError(f"cores must be >= 1, got {cores}")
+        if cores == self.cores:
+            return self
+        if self.cores != 1:
+            raise ValueError("can only scale a single-core report")
+        return replace(
+            self,
+            cores=cores,
+            retired=self.retired * cores,
+            dynamic_j=self.dynamic_j * cores,
+            static_j=self.static_j * cores,
+            thread_dynamic_j=(),
+            thread_retired=(),
+        )
+
+
+def _dynamic_joules(totals: Mapping[str, int], config: EnergyConfig) -> float:
+    wmap = config.weight_map()
+    scale = config.dynamic_scale
+    pj = 0.0
+    for name in EVENT_NAMES:
+        w = wmap.get(name, 0.0)
+        if w:
+            pj += totals.get(name, 0) * w
+    return pj * scale * _PJ
+
+
+def _static_joules(cycles: int, config: EnergyConfig, cores: int) -> float:
+    freq = config.frequency_ghz
+    if freq <= 0:
+        return 0.0
+    seconds = cycles / (freq * 1e9)
+    return config.static_power * seconds * cores
+
+
+def energy_from_totals(
+    totals: Mapping[str, int],
+    cycles: int,
+    config: EnergyConfig | None = None,
+    *,
+    cores: int = 1,
+    retired: int | None = None,
+) -> EnergyReport:
+    """Price one aggregate event-total mapping at ``config``'s point.
+
+    ``cycles`` is wall-clock cycles (the max over cores for a chip,
+    not the sum); static power burns on every core for that duration.
+    """
+    cfg = config or EnergyConfig()
+    if retired is None:
+        retired = int(totals.get("PM_INST_CMPL", 0))
+    return EnergyReport(
+        node=cfg.node,
+        freq_ghz=cfg.frequency_ghz,
+        cycles=int(cycles),
+        cores=cores,
+        retired=retired,
+        dynamic_j=_dynamic_joules(totals, cfg),
+        static_j=_static_joules(int(cycles), cfg, cores),
+    )
+
+
+def energy_from_bank(
+    bank: CounterBank,
+    cycles: int,
+    config: EnergyConfig | None = None,
+) -> EnergyReport:
+    """Price a two-thread ``CounterBank`` with per-thread attribution."""
+    cfg = config or EnergyConfig()
+    thread_dyn = []
+    thread_ret = []
+    for tid in (0, 1):
+        totals = {name: bank[name][tid] for name in EVENT_NAMES}
+        thread_dyn.append(_dynamic_joules(totals, cfg))
+        thread_ret.append(int(totals.get("PM_INST_CMPL", 0)))
+    return EnergyReport(
+        node=cfg.node,
+        freq_ghz=cfg.frequency_ghz,
+        cycles=int(cycles),
+        cores=1,
+        retired=sum(thread_ret),
+        dynamic_j=thread_dyn[0] + thread_dyn[1],
+        static_j=_static_joules(int(cycles), cfg, 1),
+        thread_dynamic_j=tuple(thread_dyn),
+        thread_retired=tuple(thread_ret),
+    )
+
+
+def epoch_power_w(
+    bank: CounterBank,
+    cycles: int,
+    config: EnergyConfig,
+) -> tuple[float, float, float]:
+    """(total W, thread0 dynamic W, thread1 dynamic W) of one epoch.
+
+    Convenience for the ``energy_budget`` governor policy: one call
+    per epoch delta, no report object churn.
+    """
+    rep = energy_from_bank(bank, cycles, config)
+    return (rep.avg_power_w, rep.thread_power_w(0), rep.thread_power_w(1))
+
+
+def pareto_frontier(
+    points: Iterable[tuple[float, float]],
+) -> list[tuple[float, float]]:
+    """Non-dominated (watts, throughput) points, watts ascending.
+
+    A point survives if no other point offers >= throughput at
+    <= watts (with at least one strict).  Ties on watts keep only the
+    highest-throughput representative.
+    """
+    best: list[tuple[float, float]] = []
+    for w, t in sorted(points, key=lambda p: (p[0], -p[1])):
+        if best and w == best[-1][0]:
+            continue  # same watts, lower-or-equal throughput
+        if not best or t > best[-1][1]:
+            best.append((w, t))
+    return best

@@ -1,0 +1,90 @@
+"""Technology-node and DVFS scaling of the energy model.
+
+The event-energy weights of :class:`repro.energy.EnergyConfig` are
+calibrated at one reference process (45nm, the POWER5+ shrink era and
+the technology base Lumos anchors its ``CORE_PARAMS`` tables at).
+Everything the design-space exploration sweeps -- process node and
+clock/voltage operating point -- is a *scaling* of those reference
+numbers, kept deliberately outside the core model:
+
+- **node scaling** -- each shrink multiplies switching energy down
+  (smaller capacitance at lower nominal Vdd), leakage power up
+  (thinner oxide, lower Vth) and the achievable clock up.  The table
+  below carries one :class:`TechNode` per supported process with
+  factors relative to 45nm, in the style of Lumos's
+  ITRS-derived tech tables.
+- **DVFS scaling** -- within a node, frequency scales roughly linearly
+  with supply voltage between ``V_MIN_FRAC`` x Vdd (the lowest
+  functional point, running at the node's minimum sustainable clock)
+  and nominal Vdd.  Dynamic *energy per event* scales with V^2 and
+  static *power* with V, the classic alpha-power first-order model.
+
+Keeping scaling separate from the per-event weights means one set of
+counters (one simulation) prices every (node, frequency) point of the
+sweep -- the simulator never reruns for a process shrink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TechNode:
+    """Scaling factors of one process node, relative to 45nm.
+
+    ``freq_scale`` multiplies the nominal clock, ``dynamic_scale`` the
+    per-event switching energy (it already folds in the node's lower
+    nominal Vdd), ``static_scale`` the leakage power at nominal
+    voltage, and ``vdd_nominal`` records the node's nominal supply in
+    volts (reporting only -- the model works in ratios).
+    """
+
+    nm: int
+    freq_scale: float
+    dynamic_scale: float
+    static_scale: float
+    vdd_nominal: float
+
+
+#: Supported process nodes, 45nm = 1.0 reference (Lumos/ITRS flavour:
+#: each shrink buys frequency and switching energy, costs leakage).
+TECH_NODES: dict[int, TechNode] = {
+    45: TechNode(45, freq_scale=1.00, dynamic_scale=1.00,
+                 static_scale=1.00, vdd_nominal=1.00),
+    32: TechNode(32, freq_scale=1.10, dynamic_scale=0.66,
+                 static_scale=1.25, vdd_nominal=0.93),
+    22: TechNode(22, freq_scale=1.19, dynamic_scale=0.43,
+                 static_scale=1.60, vdd_nominal=0.84),
+    14: TechNode(14, freq_scale=1.25, dynamic_scale=0.30,
+                 static_scale=2.10, vdd_nominal=0.76),
+}
+
+#: Voltage fraction of nominal Vdd at the lowest DVFS point
+#: (``freq_frac`` -> 0): near-threshold operation is out of scope, so
+#: the voltage floor is well above Vth.
+V_MIN_FRAC = 0.6
+
+
+def tech_node(nm: int) -> TechNode:
+    """The scaling entry of one process node."""
+    try:
+        return TECH_NODES[nm]
+    except KeyError:
+        raise ValueError(
+            f"unsupported tech node {nm}nm; "
+            f"supported: {sorted(TECH_NODES)}") from None
+
+
+def dvfs_voltage_frac(freq_frac: float) -> float:
+    """Supply voltage (fraction of nominal) sustaining ``freq_frac``.
+
+    First-order DVFS: frequency scales linearly with voltage between
+    the ``V_MIN_FRAC`` floor and nominal, so running at a fraction
+    ``f`` of the node's clock needs ``V_MIN_FRAC + (1 - V_MIN_FRAC) *
+    f`` of nominal Vdd.  ``freq_frac`` must be in (0, 1].
+    """
+    if not 0.0 < freq_frac <= 1.0:
+        raise ValueError(
+            f"freq_frac must be in (0, 1], got {freq_frac}")
+    return V_MIN_FRAC + (1.0 - V_MIN_FRAC) * freq_frac

@@ -17,6 +17,7 @@ from repro.experiments.chip import (
     chip_schedule_results,
     run_chip,
 )
+from repro.experiments.dse import run_dse
 from repro.experiments.figure1 import run_figure1
 from repro.experiments.figure2 import run_figure2
 from repro.experiments.figure3 import run_figure3
@@ -72,6 +73,7 @@ __all__ = [
     "run_modelcheck",
     "run_governor",
     "run_chip",
+    "run_dse",
     "CHIP_MIXES",
     "CHIP_POLICIES",
     "chip_cell",

@@ -52,6 +52,19 @@ class ThreadMetrics:
     #: context ran with ``pmu=True``.
     pmu: object = None
 
+    def energy(self, config=None):
+        """Price this measurement: an :class:`repro.energy.EnergyReport`.
+
+        Post-hoc over the cell's PMU counters -- requires the context
+        to have run with ``pmu=True``.  ``config`` selects the
+        operating point (default: 45nm nominal).
+        """
+        if self.pmu is None:
+            raise ValueError(
+                "energy requires a PMU-instrumented measurement "
+                "(run the context with pmu=True)")
+        return self.pmu.energy(config)
+
 
 @dataclass(frozen=True)
 class PairMetrics:
@@ -80,6 +93,19 @@ class PairMetrics:
         if self.secondary is not None:
             total += self.secondary.ipc
         return total
+
+    def energy(self, config=None):
+        """Price this measurement: an :class:`repro.energy.EnergyReport`.
+
+        Post-hoc over the cell's PMU counters (per-thread attribution
+        included) -- requires the context to have run with
+        ``pmu=True``.  ``config`` selects the operating point.
+        """
+        if self.pmu is None:
+            raise ValueError(
+                "energy requires a PMU-instrumented measurement "
+                "(run the context with pmu=True)")
+        return self.pmu.energy(config)
 
 
 def single_cell(name: str) -> tuple:
@@ -141,6 +167,15 @@ class ExperimentContext:
     chip_cores: int = 2
     chip_quota: int = 4
     chip_governor: str | None = None
+    #: Operating point of post-hoc energy reporting: technology node
+    #: (nm) and DVFS frequency fraction.  Deliberately *not* part of
+    #: performance cell keys -- energy is a pure function of already
+    #: cached counters, so re-pricing at another point never
+    #: invalidates a cached performance result.  Governed
+    #: ``energy_budget`` cells carry their operating point in their
+    #: own key params instead (the policy's decisions depend on it).
+    energy_node: int = 45
+    energy_freq: float = 1.0
     #: Optional :class:`repro.simcache.SimCache`: persistent, on-disk
     #: memoisation of cell values across processes and invocations.
     #: ``None`` (the default) keeps memoisation purely in-memory; the
@@ -201,6 +236,24 @@ class ExperimentContext:
         if self.governor_epoch < 0:
             raise ValueError(
                 f"governor_epoch must be >= 0, got {self.governor_epoch}")
+        from repro.energy import TECH_NODES
+        if self.energy_node not in TECH_NODES:
+            raise ValueError(
+                f"unsupported energy tech node {self.energy_node}nm; "
+                f"choose from {sorted(TECH_NODES)}")
+        if not 0.0 < self.energy_freq <= 1.0:
+            raise ValueError(
+                f"energy_freq must be in (0, 1], got {self.energy_freq}")
+
+    def energy_config(self, node: int | None = None,
+                      freq_frac: float | None = None):
+        """The :class:`repro.energy.EnergyConfig` at this context's
+        operating point (overridable per call for DSE sweeps)."""
+        from repro.energy import EnergyConfig
+        return EnergyConfig(
+            node=self.energy_node if node is None else node,
+            freq_frac=self.energy_freq if freq_frac is None else freq_frac,
+            base_clock_ghz=self.config.clock_hz / 1e9)
 
     def chip_sampler(self):
         """The lazily built symbiosis sampler shared by chip cells."""

@@ -126,6 +126,7 @@ def run_chip(ctx: ExperimentContext | None = None,
     """Run every allocation policy on every mix; compare vs static."""
     ctx = ctx or ExperimentContext()
     n_cores, quota = ctx.chip_cores, ctx.chip_quota
+    energy_cfg = ctx.energy_config()
 
     # Solo baselines + chip runs in one prefetch, so chip cells
     # parallelize across workers like any other sweep.
@@ -151,10 +152,14 @@ def run_chip(ctx: ExperimentContext | None = None,
             fairness = (worst_slow / min(slowdowns.values())
                         if slowdowns else 1.0)
             bus_wait = sum(l2w + memw for _, l2w, _, memw in res.bus)
+            erep = res.energy(energy_cfg)
             mix_data["policies"][pol] = {
                 "makespan": res.makespan,
                 "throughput": res.throughput,
                 "total_retired": res.total_retired,
+                "avg_power_w": erep.avg_power_w,
+                "edp_js": erep.edp_js,
+                "mips_per_watt": erep.mips_per_watt,
                 "mean_slowdown": mean_slow,
                 "worst_slowdown": worst_slow,
                 "fairness": fairness,
@@ -180,14 +185,18 @@ def run_chip(ctx: ExperimentContext | None = None,
             rows.append((pol, res.makespan, f"{res.throughput:.4f}",
                          f"{mean_slow:.2f}x", f"{worst_slow:.2f}x",
                          f"{fairness:.2f}", bus_wait,
+                         f"{erep.avg_power_w:.2f}",
+                         f"{erep.mips_per_watt:.0f}",
                          "yes" if res.capped else "no"))
         data["mixes"][mix] = mix_data
         sections.append(render_table(
             ["policy", "makespan", "chip IPC", "mean slow",
-             "worst slow", "fairness", "bus wait", "capped"],
+             "worst slow", "fairness", "bus wait", "chip W",
+             "MIPS/W", "capped"],
             rows,
             title=f"-- mix {mix!r}: {n_cores}-core chip, "
-                  f"{len(mix_jobs(mix, quota))} jobs"))
+                  f"{len(mix_jobs(mix, quota))} jobs "
+                  f"({energy_cfg.node}nm)"))
         sections.append(_placement_text(mix, mix_data))
 
     data["claims"] = _claims(data, policies)

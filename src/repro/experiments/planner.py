@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from repro.experiments import (
     chip,
+    dse,
     figure2,
     figure3,
     figure4,
@@ -56,12 +57,14 @@ CELL_PLANNERS = {
     "modelcheck": lambda ctx: modelcheck.cells(),
     "governor": lambda ctx: governor.static_cells(),
     "chip": lambda ctx: chip.cells(ctx),
+    "dse": lambda ctx: dse.cells(ctx),
 }
 
 #: Phase-2 planners: cells whose keys are functions of phase-1
 #: results (and therefore may call ``ctx.single``/``ctx.pair``).
 DEFERRED_PLANNERS = {
     "governor": lambda ctx: governor.governed_cells(ctx),
+    "dse": lambda ctx: dse.governed_cells(ctx),
 }
 
 

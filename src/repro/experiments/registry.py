@@ -6,6 +6,7 @@ from collections.abc import Callable
 
 from repro.experiments.base import ExperimentContext
 from repro.experiments.chip import run_chip
+from repro.experiments.dse import run_dse
 from repro.experiments.figure1 import run_figure1
 from repro.experiments.figure2 import run_figure2
 from repro.experiments.figure3 import run_figure3
@@ -38,6 +39,7 @@ EXPERIMENTS: dict[str, Callable[[ExperimentContext | None],
     "modelcheck": run_modelcheck,
     "governor": run_governor,
     "chip": run_chip,
+    "dse": run_dse,
 }
 
 

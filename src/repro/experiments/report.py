@@ -98,22 +98,60 @@ def render_decision_log(decisions, title: str = "governor decisions",
     return text
 
 
-def pmu_summary_columns(report, thread_id: int) -> dict[str, object]:
+def pmu_summary_columns(report, thread_id: int,
+                        energy=None) -> dict[str, object]:
     """The PMU columns experiment tables append per thread.
 
     Compact observability: decode share of cycles, the dominant stall
-    component, and off-core memory traffic.
+    component, and off-core memory traffic.  With an
+    :class:`repro.energy.EnergyConfig` in ``energy``, three energy
+    columns join: this thread's dynamic watts, the whole core's
+    average watts (shared static included) and its MIPS/W.
     """
     stack = report.cpi_stack(thread_id)
     fractions = stack.fractions()
     stall_name, stall_frac = max(
         ((k, v) for k, v in fractions.items() if k != "decode"),
         key=lambda kv: kv[1])
-    return {
+    columns = {
         "decode%": 100.0 * fractions["decode"],
         "top stall": f"{stall_name} {100.0 * stall_frac:.1f}%",
         "mem ld": report.counter("PM_LD_MEM", thread_id),
     }
+    if energy is not None:
+        rep = report.energy(energy)
+        columns["dyn W"] = rep.thread_power_w(thread_id)
+        columns["core W"] = rep.avg_power_w
+        columns["MIPS/W"] = rep.mips_per_watt
+    return columns
+
+
+def render_energy(labelled_reports, config=None,
+                  title: str = "") -> str:
+    """Energy summary table: one row per instrumented measurement.
+
+    ``labelled_reports`` is an iterable of ``(label, PmuReport)`` (the
+    shape :meth:`ExperimentContext.pmu_reports` returns); ``config``
+    an :class:`repro.energy.EnergyConfig` selecting the operating
+    point.  Energies print in microjoules and EDP in nJ*s so the
+    short-run magnitudes stay readable.
+    """
+    from repro.energy import EnergyConfig
+    cfg = config or EnergyConfig()
+    headers = ["run", "dyn uJ", "static uJ", "avg W", "EDP (nJ s)",
+               "MIPS", "MIPS/W"]
+    rows = []
+    for label, report in labelled_reports:
+        rep = report.energy(cfg)
+        rows.append((label, f"{rep.dynamic_j * 1e6:.2f}",
+                     f"{rep.static_j * 1e6:.2f}",
+                     f"{rep.avg_power_w:.3f}",
+                     f"{rep.edp_js * 1e9:.2f}", f"{rep.mips:.0f}",
+                     f"{rep.mips_per_watt:.0f}"))
+    return render_table(
+        headers, rows,
+        title=title or f"energy at {cfg.node}nm, "
+              f"{cfg.frequency_ghz:.2f} GHz")
 
 
 def _fmt(value: object) -> str:

@@ -17,9 +17,9 @@ events.
 - :class:`Governor` -- the control loop; one instance per measurement.
 - :class:`GovernorDecision` -- one frozen per-epoch decision record
   (cycle, observed IPCs, chosen priorities, reason).
-- :mod:`repro.governor.policies` -- the policy framework and the five
+- :mod:`repro.governor.policies` -- the policy framework and the six
   shipped policies (static, IPC-balance, throughput-max, transparent,
-  pipeline).
+  pipeline, energy-budget).
 
 Determinism: the epoch hook rides the existing periodic-hook
 machinery, which both simulation engines honour exactly (the
@@ -37,6 +37,7 @@ from repro.governor.governor import (
 )
 from repro.governor.policies import (
     POLICIES,
+    EnergyBudgetPolicy,
     IpcBalancePolicy,
     PipelinePolicy,
     Policy,
@@ -57,6 +58,7 @@ __all__ = [
     "ThroughputMaxPolicy",
     "TransparentPolicy",
     "PipelinePolicy",
+    "EnergyBudgetPolicy",
     "POLICIES",
     "make_policy",
 ]

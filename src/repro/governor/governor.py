@@ -70,6 +70,11 @@ class EpochObservation:
     #: before the first completion) -- lets a policy measure exact
     #: per-repetition rates across decision windows.
     rep_ends: tuple[int, int] = (0, 0)
+    #: Full counter delta of the epoch (a :class:`CounterBank` whose
+    #: counts cover exactly this epoch) -- lets a policy price the
+    #: epoch with the energy model.  ``None`` only in hand-built
+    #: observations that predate the field.
+    bank: CounterBank | None = None
 
 
 class Governor:
@@ -158,7 +163,8 @@ class Governor:
             slot_share=(owned[0] / span, owned[1] / span),
             reps=(reps[0], reps[1]),
             rep_cycles=(rep_cycles[0], rep_cycles[1]),
-            rep_ends=(rep_ends[0], rep_ends[1]))
+            rep_ends=(rep_ends[0], rep_ends[1]),
+            bank=delta)
 
     def _on_epoch(self, core, now: int) -> None:
         obs = self._observe(core, now)

@@ -7,7 +7,7 @@ whatever the policy returns through the patched kernel's ``/sys``
 interface; a policy that returns ``None`` holds the current
 assignment.
 
-Five policies ship:
+Six policies ship:
 
 - :class:`StaticPolicy` -- the no-op baseline: whatever priorities the
   run started with stay in force.  Governed runs under this policy are
@@ -28,6 +28,10 @@ Five policies ship:
   section 5.4 / Table 4, without hand-tuning): boosts the priority of
   whichever stage's repetition time lags, converging toward the
   hand-tuned best static assignment.
+- :class:`EnergyBudgetPolicy` -- holds the core's *average power*
+  under a cap by duty-cycling between normal arbitration and the
+  paper's (1,1) low-power mode, pricing each epoch's counter delta
+  with :mod:`repro.energy`.
 
 Every policy is pure state-machine code over its observations -- no
 clocks, no randomness -- so governed runs stay bit-identical across
@@ -365,6 +369,116 @@ class PipelinePolicy(Policy):
             f"{self._incumbent_time:.0f} cyc/iter)")
 
 
+class EnergyBudgetPolicy(Policy):
+    """Cap the core's average power by duty-cycling the (1,1) mode.
+
+    Each epoch's :class:`~repro.pmu.CounterBank` delta is priced with
+    the energy model (``node``/``freq_frac``/``weights`` select the
+    operating point, matching whatever the experiment reports
+    post-hoc) and accumulated into a running *cumulative* average --
+    integral control, so transient overshoot during the initial
+    descent is paid back later rather than ignored.
+
+    The cap is ``power_cap`` watts when given; otherwise it adapts to
+    ``cap_frac`` times the highest epoch power seen, a self-calibrating
+    stand-in for "X% of this workload's unconstrained draw".
+
+    Control is deliberately bang-bang: on POWER5 the equal priority
+    pairs (2,2)..(7,7) arbitrate identically, so the only epoch-level
+    power knob software holds is entering/leaving the (1,1) low-power
+    mode (one decode slot every 32 cycles).  Over the cap the policy
+    steps the more energy-hungry thread down toward (1,1); with
+    headroom (cumulative average under ``cap * (1 - hysteresis)`` ) it
+    steps the higher-IPC thread back up.  The duty cycle between the
+    two regimes converges the cumulative average onto the cap while
+    retiring strictly more work than a static (1,1) run.
+    """
+
+    name = "energy_budget"
+
+    def __init__(self, config: GovernorConfig,
+                 power_cap: float | None = None,
+                 cap_frac: float = 0.8,
+                 node: int = 45,
+                 freq_frac: float = 1.0,
+                 weights=None):
+        super().__init__(config)
+        if power_cap is not None and power_cap <= 0:
+            raise ValueError(f"power_cap must be > 0, got {power_cap}")
+        if not 0.0 < cap_frac <= 1.0:
+            raise ValueError(f"cap_frac must be in (0, 1], got {cap_frac}")
+        from repro.energy import EnergyConfig
+        kwargs = {"node": node, "freq_frac": freq_frac}
+        if weights is not None:
+            kwargs["weights"] = tuple(tuple(w) for w in weights)
+        self._energy = EnergyConfig(**kwargs)
+        self._power_cap = power_cap
+        self._cap_frac = cap_frac
+        self.reset()
+
+    def reset(self) -> None:
+        self._joules = 0.0
+        self._seconds = 0.0
+        self._peak_epoch_w = 0.0
+        self._cooldown = 0
+
+    @property
+    def cap_w(self) -> float:
+        """The cap currently in force (0.0 until first observation)."""
+        if self._power_cap is not None:
+            return self._power_cap
+        return self._cap_frac * self._peak_epoch_w
+
+    @property
+    def avg_power_w(self) -> float:
+        """Cumulative average power over all observed epochs."""
+        return self._joules / self._seconds if self._seconds > 0 else 0.0
+
+    def decide(self, obs) -> Decision:
+        if obs.bank is None:
+            return None, "no PMU bank in observation"
+        from repro.energy import epoch_power_w
+        span = max(obs.bank.cycles, 1)
+        epoch_w, dyn0_w, dyn1_w = epoch_power_w(
+            obs.bank, span, self._energy)
+        self._joules += epoch_w * span / (self._energy.frequency_ghz * 1e9)
+        self._seconds += span / (self._energy.frequency_ghz * 1e9)
+        self._peak_epoch_w = max(self._peak_epoch_w, epoch_w)
+        cap = self.cap_w
+        avg = self.avg_power_w
+        if cap <= 0:
+            return None, "calibrating cap"
+        if self._cooldown:
+            self._cooldown -= 1
+            return None, f"cooldown (avg {avg:.3f} W, cap {cap:.3f} W)"
+        p = [obs.priorities[0], obs.priorities[1]]
+        if avg > cap:
+            # Over budget: step the hungrier thread down toward (1,1).
+            hungry = 0 if dyn0_w >= dyn1_w else 1
+            if p[hungry] <= self.config.min_priority:
+                hungry = 1 - hungry
+            if p[hungry] <= self.config.min_priority:
+                return None, (f"over cap at floor "
+                              f"(avg {avg:.3f} W > {cap:.3f} W)")
+            p[hungry] -= 1
+            self._cooldown = self.config.cooldown
+            return (p[0], p[1]), (
+                f"over cap (avg {avg:.3f} W > {cap:.3f} W): t{hungry} down")
+        if avg < cap * (1.0 - self.config.hysteresis):
+            # Headroom: give the faster thread its slots back.
+            fast = 0 if obs.ipc[0] >= obs.ipc[1] else 1
+            if p[fast] >= self.config.max_priority:
+                fast = 1 - fast
+            if p[fast] >= self.config.max_priority:
+                return None, (f"headroom at ceiling "
+                              f"(avg {avg:.3f} W, cap {cap:.3f} W)")
+            p[fast] += 1
+            self._cooldown = self.config.cooldown
+            return (p[0], p[1]), (
+                f"headroom (avg {avg:.3f} W < {cap:.3f} W): t{fast} up")
+        return None, f"on budget (avg {avg:.3f} W, cap {cap:.3f} W)"
+
+
 #: Policy registry: id -> factory(config, **params).
 POLICIES: dict[str, Callable[..., Policy]] = {
     StaticPolicy.name: StaticPolicy,
@@ -372,6 +486,7 @@ POLICIES: dict[str, Callable[..., Policy]] = {
     ThroughputMaxPolicy.name: ThroughputMaxPolicy,
     TransparentPolicy.name: TransparentPolicy,
     PipelinePolicy.name: PipelinePolicy,
+    EnergyBudgetPolicy.name: EnergyBudgetPolicy,
 }
 
 

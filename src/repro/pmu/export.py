@@ -34,12 +34,14 @@ def write_jsonl(path, records: Iterable[dict]) -> int:
     return count
 
 
-def report_records(report, label: str = "") -> list[dict]:
+def report_records(report, label: str = "", energy=None) -> list[dict]:
     """Flatten one :class:`repro.pmu.PmuReport` into JSONL records.
 
     Emits one ``counters`` record per thread, one ``sample`` record
     per interval sample, and one ``fame`` record per repetition
-    telemetry point.
+    telemetry point.  With an :class:`repro.energy.EnergyConfig` in
+    ``energy``, one exact ``energy`` record (from the full counter
+    bank) is appended per report.
     """
     records: list[dict] = []
     for tid in (0, 1):
@@ -91,6 +93,22 @@ def report_records(report, label: str = "") -> list[dict]:
             "reason": d.reason,
             "applied": d.applied,
         })
+    if energy is not None:
+        rep = report.energy(energy)
+        records.append({
+            "type": "energy",
+            "label": label,
+            "node_nm": rep.node,
+            "freq_ghz": rep.freq_ghz,
+            "cycles": rep.cycles,
+            "dynamic_j": rep.dynamic_j,
+            "static_j": rep.static_j,
+            "avg_power_w": rep.avg_power_w,
+            "edp_js": rep.edp_js,
+            "mips": rep.mips,
+            "mips_per_watt": rep.mips_per_watt,
+            "thread_dynamic_j": list(rep.thread_dynamic_j),
+        })
     return records
 
 
@@ -99,12 +117,16 @@ def report_records(report, label: str = "") -> list[dict]:
 # ----------------------------------------------------------------------
 
 
-def trace_events(report, pid: int = 0, label: str = "") -> list[dict]:
+def trace_events(report, pid: int = 0, label: str = "",
+                 energy=None) -> list[dict]:
     """Chrome-trace events for one :class:`repro.pmu.PmuReport`.
 
     One trace *process* per report (``pid``), one trace *thread* per
     hardware thread.  Every event carries the four keys Perfetto
-    requires (``name``, ``ph``, ``ts``, ``pid``) plus ``tid``.
+    requires (``name``, ``ph``, ``ts``, ``pid``) plus ``tid``.  With
+    an :class:`repro.energy.EnergyConfig` in ``energy``, a dedicated
+    power track (tid 3) is added: per-interval approximate watts from
+    the sampled deltas, anchored by the exact counter-bank average.
     """
     events: list[dict] = [{
         "name": "process_name", "ph": "M", "ts": 0, "pid": pid, "tid": 0,
@@ -165,6 +187,58 @@ def trace_events(report, pid: int = 0, label: str = "") -> list[dict]:
                     "args": {"reason": d.reason,
                              "ipc_t0": d.ipc[0], "ipc_t1": d.ipc[1]},
                 })
+    if energy is not None:
+        events.extend(_power_track(report, energy, pid))
+    return events
+
+
+def _power_track(report, energy, pid: int) -> list[dict]:
+    """A power counter track for one report (trace tid 3).
+
+    Interval points are an *approximation* (samples carry only a
+    subset of the events the exact model prices: retired, decoded
+    slots, loads, L2 misses); the track is anchored by the exact
+    whole-run average from the full counter bank, emitted at the final
+    cycle, and the approximation uses the same weights/scaling so the
+    two agree to within the unsampled events' share.
+    """
+    power_tid = 3
+    rep = report.energy(energy)
+    events: list[dict] = [{
+        "name": "thread_name", "ph": "M", "ts": 0, "pid": pid,
+        "tid": power_tid,
+        "args": {"name": f"power ({rep.node}nm "
+                 f"@ {rep.freq_ghz:.2f} GHz)"},
+    }]
+    period = report.sample_period
+    if period:
+        wmap = dict(energy.weights)
+        # Per-event pJ for the quantities a Sample carries.
+        pj_ret = wmap.get("PM_INST_DISP", 0.0) + wmap.get(
+            "PM_INST_CMPL", 0.0)
+        pj_ld = wmap.get("PM_LD_L1_HIT", 0.0)
+        pj_l2 = wmap.get("PM_LD_L2_HIT", 0.0)
+        pj_dec = wmap.get("PM_SLOT_GRANT", 0.0)
+        scale = energy.dynamic_scale * 1e-12
+        seconds = period / (energy.frequency_ghz * 1e9)
+        static_w = energy.static_power
+        for s in report.samples:
+            dyn_j = (s.retired * pj_ret + s.loads * pj_ld
+                     + s.l2_misses * pj_l2
+                     + s.owned_slots * pj_dec) * scale
+            events.append({
+                "name": f"t{s.thread_id} power", "ph": "C",
+                "ts": s.cycle, "pid": pid, "tid": power_tid,
+                "args": {"dynamic_w": dyn_j / seconds,
+                         "static_w": static_w},
+            })
+    events.append({
+        "name": "avg power", "ph": "C", "ts": report.cycles,
+        "pid": pid, "tid": power_tid,
+        "args": {"watts": rep.avg_power_w,
+                 "dynamic_w": rep.dynamic_power_w,
+                 "static_w": rep.static_power_w},
+    })
     return events
 
 
@@ -237,23 +311,26 @@ def write_scheduler_trace(path, results_with_labels) -> int:
     return len(doc["traceEvents"])
 
 
-def chrome_trace(reports_with_labels) -> dict:
+def chrome_trace(reports_with_labels, energy=None) -> dict:
     """Assemble a complete Chrome-trace document.
 
     ``reports_with_labels`` is an iterable of ``(label, PmuReport)``;
-    each report becomes one process row group in the viewer.
+    each report becomes one process row group in the viewer.  An
+    :class:`repro.energy.EnergyConfig` in ``energy`` adds a power
+    track per report.
     """
     events: list[dict] = []
     for pid, (label, report) in enumerate(reports_with_labels):
-        events.extend(trace_events(report, pid=pid, label=label))
+        events.extend(trace_events(report, pid=pid, label=label,
+                                   energy=energy))
     return {"traceEvents": events, "displayTimeUnit": "ms",
             "otherData": {"generator": "repro.pmu",
                           "time_unit": "1us == 1 simulated cycle"}}
 
 
-def write_chrome_trace(path, reports_with_labels) -> int:
+def write_chrome_trace(path, reports_with_labels, energy=None) -> int:
     """Write a Chrome-trace JSON file; returns the event count."""
-    doc = chrome_trace(reports_with_labels)
+    doc = chrome_trace(reports_with_labels, energy=energy)
     with open(path, "w") as fh:
         json.dump(doc, fh)
     return len(doc["traceEvents"])

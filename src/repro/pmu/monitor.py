@@ -83,6 +83,19 @@ class PmuReport:
         """One thread's interval samples in time order."""
         return [s for s in self.samples if s.thread_id == thread_id]
 
+    def energy(self, config=None):
+        """Price this measurement with the post-hoc energy model.
+
+        Returns a :class:`repro.energy.EnergyReport` with per-thread
+        dynamic attribution.  ``config`` is an
+        :class:`repro.energy.EnergyConfig` selecting the operating
+        point (default: 45nm nominal) -- a pure function of the
+        already-frozen counters, so the same report prices at any
+        number of operating points without re-simulation.
+        """
+        from repro.energy import energy_from_bank
+        return energy_from_bank(self.bank(), self.cycles, config)
+
 
 @dataclass
 class Pmu:

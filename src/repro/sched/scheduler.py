@@ -81,6 +81,24 @@ class ScheduleResult:
         """Longest single-job wall-clock span (fairness numerator)."""
         return max((run.span_cycles for run in self.jobs), default=0)
 
+    def energy(self, config=None):
+        """Price this schedule: a chip :class:`repro.energy.EnergyReport`.
+
+        Post-hoc over the chip-aggregate counters; the makespan is the
+        wall-clock, so static power burns on all ``n_cores`` for its
+        duration.  ``config`` selects the operating point.
+        """
+        from repro.energy import energy_from_totals
+        return energy_from_totals(
+            dict(self.counters), self.makespan, config,
+            cores=self.n_cores, retired=self.total_retired)
+
+    def core_energy(self, core_id: int, config=None):
+        """Per-core report (one core's counters, shared makespan)."""
+        from repro.energy import energy_from_totals
+        return energy_from_totals(
+            dict(self.core_counters[core_id]), self.makespan, config)
+
 
 class OsScheduler:
     """Dispatches a job queue onto a :class:`repro.chip.Chip`."""

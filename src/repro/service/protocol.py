@@ -44,7 +44,10 @@ from repro.config.power5 import (
 
 #: Version of the request/response shapes described above.  Bump on
 #: any incompatible change; mismatched peers are refused at submit.
-PROTOCOL_VERSION = 1
+#: v2: specs carry the energy operating point (energy_node,
+#: energy_freq) -- a v1 peer would silently drop the governed
+#: energy_budget cells' context.
+PROTOCOL_VERSION = 2
 
 #: Context parameters that ride in a spec, in addition to the machine
 #: configuration.  Everything :meth:`ExperimentContext._simcache_key`
@@ -61,6 +64,8 @@ SPEC_FIELDS = (
     "chip_cores",
     "chip_quota",
     "chip_governor",
+    "energy_node",
+    "energy_freq",
 )
 
 #: Nested dataclasses of :class:`CoreConfig`, decoded by field name.

@@ -498,34 +498,60 @@ class SimCache:
             "bytes": size,
         }
 
-    def clear(self) -> int:
-        """Delete every cache entry (and the stats file); returns count.
+    def clear(self) -> dict:
+        """Delete every cache artefact; returns what was swept.
 
-        Only files this store created (``*.pkl`` entries, the packed
-        shard, temp files and ``stats.json``) are removed -- never the
-        directory itself or anything else in it.
+        Only files this store created are removed -- never the
+        directory itself or anything else in it.  Beyond the ``*.pkl``
+        entries and the packed shard, the sweep covers the
+        multi-writer droppings earlier versions left behind:
+        ``stats-delta.*.json`` spool files, temp files, lock files and
+        ``holds/*.hold`` markers.  Hold markers are removed only when
+        their owning process is dead (the live-pid guard of
+        :meth:`_live_holds`) -- a running service's marker must keep
+        protecting whatever it writes next.  Every category is swept
+        per-file, so one unremovable path cannot abort the rest.
+
+        Returns ``{"entries", "packed", "spool", "locks", "holds",
+        "live_holds"}``: counts removed per category, plus the live
+        markers deliberately left in place.
         """
-        removed = 0
-        for path in self.entries():
+        def _glob(root: pathlib.Path, pattern: str) -> list[pathlib.Path]:
             try:
-                path.unlink()
-                removed += 1
+                return list(root.glob(pattern))
             except OSError:
-                pass
-        removed += len(self._load_shard_index())
+                return []
+
+        def _sweep(paths) -> int:
+            n = 0
+            for path in paths:
+                try:
+                    path.unlink()
+                    n += 1
+                except OSError:
+                    pass
+            return n
+
+        swept = {"entries": _sweep(self.entries())}
+        swept["packed"] = len(self._load_shard_index())
         try:
-            for tmp in self.root.glob("*.tmp*"):
-                tmp.unlink()
-            for delta in self.root.glob("stats-delta.*.json"):
-                delta.unlink()
-            for lock in self.root.glob("*.lock"):
-                lock.unlink()
             self._shard_path().unlink(missing_ok=True)
-            (self.root / "stats.json").unlink(missing_ok=True)
         except OSError:
-            pass
+            swept["packed"] = 0
+        spool = _glob(self.root, "stats-delta.*.json")
+        spool += _glob(self.root, "*.tmp*")
+        spool += [p for p in (self.root / "stats.json",)
+                  if p.exists()]
+        swept["spool"] = _sweep(spool)
+        swept["locks"] = _sweep(_glob(self.root, "*.lock"))
+        holds_dir = self.root / _HOLDS_DIR
+        before = len(_glob(holds_dir, "*.hold"))
+        live = self._live_holds()  # reaps dead-owner/stale markers
+        swept["holds"] = (max(0, before - len(live))
+                          + _sweep(_glob(holds_dir, "*.tmp*")))
+        swept["live_holds"] = len(live)
         self._shard_index = {}
-        return removed
+        return swept
 
     def flush_stats(self) -> None:
         """Persist this session's counters; cumulative across runs.

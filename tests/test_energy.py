@@ -1,0 +1,236 @@
+"""The energy model: scaling tables, config validation, arithmetic.
+
+Everything here is a pure function of counters + an operating point,
+so tests can assert exact hand-computed values -- there is no
+simulation noise to tolerate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.energy import (
+    DEFAULT_STATIC_POWER_W,
+    DEFAULT_WEIGHTS,
+    TECH_NODES,
+    EnergyConfig,
+    dvfs_voltage_frac,
+    energy_from_bank,
+    energy_from_totals,
+    epoch_power_w,
+    pareto_frontier,
+    tech_node,
+)
+from repro.pmu.counters import CounterBank
+from repro.pmu.events import EVENT_NAMES
+
+
+def _bank(cycles=1000, priorities=(4, 4), **overrides) -> CounterBank:
+    """A synthetic bank: all events zero except the overrides.
+
+    Overrides are ``NAME=(t0, t1)`` tuples.
+    """
+    values = {name: (0, 0) for name in EVENT_NAMES}
+    for name, pair in overrides.items():
+        assert name in values, name
+        values[name] = pair
+    return CounterBank(cycles, priorities, values)
+
+
+# -- tech-node scaling ----------------------------------------------------
+
+
+def test_tech_node_table_monotonic():
+    """Each shrink raises clocks, cuts switching energy, costs leakage."""
+    nodes = [tech_node(nm) for nm in (45, 32, 22, 14)]
+    for prev, cur in zip(nodes, nodes[1:]):
+        assert cur.freq_scale > prev.freq_scale
+        assert cur.dynamic_scale < prev.dynamic_scale
+        assert cur.static_scale > prev.static_scale  # leakage worsens
+        assert cur.vdd_nominal < prev.vdd_nominal
+    assert nodes[0].freq_scale == 1.0  # 45nm is the reference
+    assert nodes[0].dynamic_scale == 1.0
+    assert nodes[0].static_scale == 1.0
+
+
+def test_tech_node_unknown_raises():
+    with pytest.raises(ValueError, match="node"):
+        tech_node(7)
+    assert set(TECH_NODES) == {45, 32, 22, 14}
+
+
+def test_dvfs_voltage_model():
+    """Linear V/f: full speed at nominal Vdd, 60% Vdd floor."""
+    assert dvfs_voltage_frac(1.0) == 1.0
+    assert dvfs_voltage_frac(0.5) == pytest.approx(0.8)
+    for bad in (0.0, -0.1, 1.5):
+        with pytest.raises(ValueError):
+            dvfs_voltage_frac(bad)
+
+
+# -- config validation ----------------------------------------------------
+
+
+def test_config_rejects_bad_weights():
+    with pytest.raises(ValueError, match="unknown"):
+        EnergyConfig(weights=(("PM_NO_SUCH_EVENT", 1.0),))
+    with pytest.raises(ValueError, match="duplicate"):
+        EnergyConfig(weights=(("PM_INST_CMPL", 1.0),
+                              ("PM_INST_CMPL", 2.0)))
+    with pytest.raises(ValueError, match="negative"):
+        EnergyConfig(weights=(("PM_INST_CMPL", -1.0),))
+
+
+def test_config_rejects_bad_operating_point():
+    with pytest.raises(ValueError):
+        EnergyConfig(node=65)
+    with pytest.raises(ValueError):
+        EnergyConfig(freq_frac=0.0)
+    with pytest.raises(ValueError):
+        EnergyConfig(freq_frac=1.5)
+    with pytest.raises(ValueError):
+        EnergyConfig(static_power_w=-0.1)
+    with pytest.raises(ValueError):
+        EnergyConfig(base_clock_ghz=0.0)
+
+
+def test_config_derived_point_hand_computed():
+    """14nm at half clock: the exact Lumos-style composition."""
+    cfg = EnergyConfig(node=14, freq_frac=0.5)
+    assert cfg.voltage_frac == pytest.approx(0.8)
+    assert cfg.frequency_ghz == pytest.approx(1.65 * 1.25 * 0.5)
+    assert cfg.dynamic_scale == pytest.approx(0.30 * 0.8 * 0.8)
+    assert cfg.static_power == pytest.approx(
+        DEFAULT_STATIC_POWER_W * 2.10 * 0.8)
+
+
+def test_config_fingerprint_tracks_parameters():
+    base = EnergyConfig()
+    assert base.fingerprint() == EnergyConfig().fingerprint()
+    assert base.fingerprint() != EnergyConfig(node=22).fingerprint()
+    assert base.fingerprint() != EnergyConfig(freq_frac=0.8).fingerprint()
+    trimmed = tuple(w for w in DEFAULT_WEIGHTS
+                    if w[0] != "PM_PRIO_CHANGE")
+    assert base.fingerprint() != EnergyConfig(
+        weights=trimmed).fingerprint()
+
+
+# -- report arithmetic ----------------------------------------------------
+
+
+def test_energy_from_totals_hand_computed():
+    """Dot product + leakage, checked against pencil-and-paper."""
+    cfg = EnergyConfig()  # 45nm, full speed: all scales are 1
+    totals = {"PM_INST_CMPL": 1000, "PM_INST_DISP": 2000}
+    cycles = 1_650_000  # exactly 1 ms at 1.65 GHz
+    rep = energy_from_totals(totals, cycles, cfg)
+    assert rep.seconds == pytest.approx(1e-3)
+    assert rep.dynamic_j == pytest.approx(
+        (1000 * 150.0 + 2000 * 250.0) * 1e-12)
+    assert rep.static_j == pytest.approx(1.058e-3)
+    assert rep.total_j == pytest.approx(rep.dynamic_j + rep.static_j)
+    assert rep.avg_power_w == pytest.approx(rep.total_j / 1e-3)
+    assert rep.retired == 1000
+    assert rep.mips == pytest.approx(1.0)
+    assert rep.edp_js == pytest.approx(rep.total_j * 1e-3)
+    assert rep.mips_per_watt == pytest.approx(1.0 / rep.avg_power_w)
+
+
+def test_zero_cycles_never_divides():
+    rep = energy_from_totals({}, 0)
+    assert rep.avg_power_w == 0.0
+    assert rep.mips == 0.0
+    assert rep.mips_per_watt == 0.0
+    assert rep.edp_js == 0.0
+
+
+def test_bank_and_totals_agree():
+    """Per-thread pricing sums to the aggregate pricing exactly."""
+    bank = _bank(cycles=500_000,
+                 PM_INST_CMPL=(800, 200),
+                 PM_LD_L2_HIT=(10, 40),
+                 PM_FPU_ISSUE=(0, 300))
+    cfg = EnergyConfig(node=32, freq_frac=0.8)
+    by_bank = energy_from_bank(bank, bank.cycles, cfg)
+    by_totals = energy_from_totals(bank.totals(), bank.cycles, cfg)
+    assert by_bank.dynamic_j == pytest.approx(by_totals.dynamic_j)
+    assert by_bank.static_j == by_totals.static_j
+    assert by_bank.retired == by_totals.retired == 1000
+    assert sum(by_bank.thread_dynamic_j) == pytest.approx(
+        by_bank.dynamic_j)
+    assert by_bank.thread_retired == (800, 200)
+    assert (by_bank.thread_power_w(0) + by_bank.thread_power_w(1)
+            == pytest.approx(by_bank.dynamic_power_w))
+
+
+def test_epoch_power_matches_report():
+    bank = _bank(cycles=100_000, PM_INST_CMPL=(500, 100),
+                 PM_LSU_ISSUE=(200, 50))
+    cfg = EnergyConfig()
+    total, t0, t1 = epoch_power_w(bank, bank.cycles, cfg)
+    rep = energy_from_bank(bank, bank.cycles, cfg)
+    assert total == pytest.approx(rep.avg_power_w)
+    assert t0 == pytest.approx(rep.thread_power_w(0))
+    assert t1 == pytest.approx(rep.thread_power_w(1))
+    assert t0 > t1  # thread 0 did the work
+
+
+def test_scaled_replicates_across_cores():
+    rep = energy_from_totals({"PM_INST_CMPL": 1000}, 1_650_000)
+    four = rep.scaled(4)
+    assert four.cores == 4
+    assert four.retired == 4000
+    assert four.dynamic_j == pytest.approx(4 * rep.dynamic_j)
+    assert four.static_j == pytest.approx(4 * rep.static_j)
+    assert four.seconds == rep.seconds  # time does not multiply
+    assert four.mips == pytest.approx(4 * rep.mips)
+    assert rep.scaled(1) is rep
+    with pytest.raises(ValueError):
+        rep.scaled(0)
+    with pytest.raises(ValueError):
+        four.scaled(8)  # only single-core reports replicate
+
+
+def test_node_and_frequency_gradients():
+    """The design-space gradients the dse experiment sweeps: a shrink
+    trades switching energy against leakage; DVFS trades watts
+    against throughput."""
+    totals = {"PM_INST_CMPL": 5000, "PM_INST_DISP": 9000,
+              "PM_LD_L1_HIT": 2000}
+    cycles = 2_000_000
+    r45 = energy_from_totals(totals, cycles, EnergyConfig(node=45))
+    r14 = energy_from_totals(totals, cycles, EnergyConfig(node=14))
+    assert r14.dynamic_j < r45.dynamic_j  # switching energy shrinks
+    assert r14.static_power_w > r45.static_power_w  # leakage grows
+    assert r14.mips > r45.mips  # faster clock, same cycle count
+    full = energy_from_totals(totals, cycles,
+                              EnergyConfig(freq_frac=1.0))
+    slow = energy_from_totals(totals, cycles,
+                              EnergyConfig(freq_frac=0.6))
+    assert slow.avg_power_w < full.avg_power_w
+    assert slow.mips < full.mips  # slower too: a real trade-off
+
+
+def test_report_is_frozen():
+    rep = energy_from_totals({}, 100)
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        rep.cycles = 0
+
+
+# -- pareto ---------------------------------------------------------------
+
+
+def test_pareto_frontier_filters_dominated():
+    points = [(2.0, 10.0), (1.0, 8.0), (3.0, 9.0),  # (3,9) dominated
+              (1.5, 8.0),                            # dominated by (1,8)
+              (4.0, 20.0)]
+    assert pareto_frontier(points) == [(1.0, 8.0), (2.0, 10.0),
+                                       (4.0, 20.0)]
+
+
+def test_pareto_frontier_dedups_equal_watts():
+    assert pareto_frontier([(1.0, 5.0), (1.0, 7.0)]) == [(1.0, 7.0)]
+    assert pareto_frontier([]) == []
+    assert pareto_frontier([(2.5, 1.0)]) == [(2.5, 1.0)]

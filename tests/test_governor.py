@@ -16,6 +16,7 @@ from repro.core import SMTCore
 from repro.experiments import ExperimentContext, governed_cell
 from repro.fame import FameRunner
 from repro.governor import (
+    EnergyBudgetPolicy,
     Governor,
     GovernorConfig,
     GovernorDecision,
@@ -86,7 +87,7 @@ class TestPolicyRegistry:
     def test_all_policies_registered(self):
         assert set(POLICIES) == {"static", "ipc_balance",
                                  "throughput_max", "transparent",
-                                 "pipeline"}
+                                 "pipeline", "energy_budget"}
 
     def test_make_policy(self):
         cfg = GovernorConfig()
@@ -289,6 +290,119 @@ class TestPipelinePolicy:
                                       reps=(20, 20),
                                       rep_ends=(2000, 2000)))
         assert target is None and reason == "converged"
+
+
+class TestEnergyBudgetPolicy:
+    @staticmethod
+    def _bank(cycles=1000, retired=(0, 0)):
+        """An epoch delta bank where only completions carry energy."""
+        from repro.pmu.counters import CounterBank
+        from repro.pmu.events import EVENT_NAMES
+        values = {name: (0, 0) for name in EVENT_NAMES}
+        values["PM_INST_CMPL"] = retired
+        return CounterBank(cycles, (4, 4), values)
+
+    @classmethod
+    def _obs(cls, bank, priorities=(4, 4), ipc=(0.5, 0.5)):
+        return dataclasses.replace(
+            obs(priorities=priorities, ipc=ipc), bank=bank)
+
+    def test_holds_without_bank(self):
+        p = EnergyBudgetPolicy(GovernorConfig(), power_cap=2.0)
+        target, reason = p.decide(obs())
+        assert target is None and "no PMU bank" in reason
+
+    def test_over_cap_steps_hungry_thread_down(self):
+        # 10k completions over 1000 cycles at 150 pJ each: ~2.5 W
+        # dynamic on top of 1.058 W static -- well over a 1.5 W cap.
+        p = EnergyBudgetPolicy(GovernorConfig(cooldown=0),
+                               power_cap=1.5)
+        target, reason = p.decide(
+            self._obs(self._bank(retired=(10_000, 100))))
+        assert target == (3, 4)  # t0 burned the joules
+        assert "over cap" in reason and "t0 down" in reason
+        assert p.avg_power_w > p.cap_w
+
+    def test_headroom_steps_fast_thread_up(self):
+        # An idle epoch burns only leakage (~1.06 W) against a 5 W
+        # cap: plenty of headroom, so the faster thread steps up.
+        p = EnergyBudgetPolicy(GovernorConfig(cooldown=0),
+                               power_cap=5.0)
+        target, reason = p.decide(
+            self._obs(self._bank(), ipc=(0.8, 0.2)))
+        assert target == (5, 4)
+        assert "headroom" in reason and "t0 up" in reason
+
+    def test_cooldown_after_change(self):
+        p = EnergyBudgetPolicy(GovernorConfig(cooldown=2),
+                               power_cap=1.5)
+        hot = self._obs(self._bank(retired=(10_000, 100)))
+        assert p.decide(hot)[0] == (3, 4)
+        assert "cooldown" in p.decide(hot)[1]
+        assert "cooldown" in p.decide(hot)[1]
+        assert p.decide(dataclasses.replace(hot, priorities=(3, 4))
+                        )[0] == (2, 4)
+
+    def test_over_cap_at_floor_holds(self):
+        p = EnergyBudgetPolicy(GovernorConfig(cooldown=0),
+                               power_cap=0.5)  # below even leakage
+        target, reason = p.decide(
+            self._obs(self._bank(retired=(5000, 5000)),
+                      priorities=(1, 1)))
+        assert target is None and "at floor" in reason
+
+    def test_headroom_at_ceiling_holds(self):
+        p = EnergyBudgetPolicy(GovernorConfig(cooldown=0),
+                               power_cap=50.0)
+        target, reason = p.decide(
+            self._obs(self._bank(), priorities=(6, 6)))
+        assert target is None and "ceiling" in reason
+
+    def test_adaptive_cap_calibrates_from_peak(self):
+        p = EnergyBudgetPolicy(GovernorConfig(cooldown=0),
+                               cap_frac=0.5)
+        assert p.cap_w == 0.0  # nothing observed yet
+        # First epoch: avg == peak > 0.5 * peak, so it steps down.
+        target, _ = p.decide(self._obs(self._bank(retired=(8000, 100))))
+        assert target == (3, 4)
+        assert p.cap_w == pytest.approx(0.5 * p._peak_epoch_w)
+
+    def test_operating_point_scales_the_accounting(self):
+        """The same epoch prices differently at another node -- the
+        reason the governed cell key carries (node, freq_frac)."""
+        hot = self._obs(self._bank(retired=(10_000, 100)))
+        at45 = EnergyBudgetPolicy(GovernorConfig(), power_cap=1.5)
+        at14 = EnergyBudgetPolicy(GovernorConfig(), power_cap=1.5,
+                                  node=14, freq_frac=0.6)
+        at45.decide(hot)
+        at14.decide(hot)
+        assert at45.avg_power_w != at14.avg_power_w
+
+    def test_reset_clears_integral_state(self):
+        p = EnergyBudgetPolicy(GovernorConfig(), power_cap=1.5)
+        p.decide(self._obs(self._bank(retired=(10_000, 100))))
+        assert p.avg_power_w > 0
+        p.reset()
+        assert p.avg_power_w == 0.0 and p._peak_epoch_w == 0.0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"power_cap": 0.0},
+        {"power_cap": -1.0},
+        {"cap_frac": 0.0},
+        {"cap_frac": 1.5},
+        {"node": 65},
+        {"freq_frac": 0.0},
+        {"weights": (("PM_NO_SUCH_EVENT", 1.0),)},
+    ])
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            EnergyBudgetPolicy(GovernorConfig(), **kwargs)
+
+    def test_make_policy_builds_it(self):
+        p = make_policy("energy_budget", GovernorConfig(),
+                        power_cap=2.0, node=22)
+        assert isinstance(p, EnergyBudgetPolicy)
+        assert p.cap_w == 2.0 and p._energy.node == 22
 
 
 # ----------------------------------------------------------------------

@@ -13,7 +13,8 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments import EXPERIMENTS, ExperimentContext, run_many
-from repro.experiments import figure2, figure3, figure4, table3
+from repro.experiments import dse, figure2, figure3, figure4, table3
+from repro.experiments.base import governed_cell
 from repro.experiments.planner import (
     CELL_PLANNERS,
     DEFERRED_PLANNERS,
@@ -66,6 +67,46 @@ def test_planned_execution_is_invisible_and_up_front():
     sequential = [EXPERIMENTS[eid](ctx) for eid in ids]
     for a, b in zip(planned, sequential):
         assert repr(a) == repr(b), a.experiment_id
+
+
+def test_dse_planner_registration_and_gating():
+    """dse plans its static matrix up front and defers the governed
+    cell (its key embeds a cap measured from phase-1 results)."""
+    assert "dse" in CELL_PLANNERS and "dse" in DEFERRED_PLANNERS
+    pmu_ctx = _ctx(pmu=True)
+    planned = CELL_PLANNERS["dse"](pmu_ctx)
+    assert planned == dse.cells(pmu_ctx) and planned
+    # A context the experiment cannot own cells for plans nothing --
+    # run_dse measures through its PMU twin instead.
+    assert CELL_PLANNERS["dse"](_ctx()) == []
+    assert DEFERRED_PLANNERS["dse"](_ctx()) == []
+
+
+def test_energy_point_never_invalidates_performance_cells():
+    """Post-hoc pricing discipline: the energy operating point is NOT
+    part of performance cell keys.  Re-pricing a cached sweep at a
+    different node/frequency must hit, never re-simulate."""
+    base = _ctx(pmu=True)
+    repriced = _ctx(pmu=True, energy_node=14, energy_freq=0.6)
+    for cell in dse.cells(base):
+        assert (base._simcache_key(cell)
+                == repriced._simcache_key(cell))
+
+
+def test_energy_point_invalidates_governed_cells():
+    """The governed energy_budget cell is the one exception: its
+    params change the policy's decisions, so they live in the key."""
+    ctx = _ctx(pmu=True)
+
+    def key(params):
+        return ctx._simcache_key(governed_cell(
+            "cpu_int", "ldint_mem", (4, 4), "energy_budget", params))
+
+    base = {"power_cap": 1.5, "node": 45, "freq_frac": 1.0}
+    assert key(base) == key(dict(base))
+    assert key(base) != key({**base, "power_cap": 1.2})
+    assert key(base) != key({**base, "node": 22})
+    assert key(base) != key({**base, "freq_frac": 0.8})
 
 
 def test_run_many_single_experiment_skips_planning():

@@ -256,7 +256,8 @@ def test_clear_and_stats(tmp_path):
     cache.store(("b",), 2)
     cache.flush_stats()
     assert cache.stats()["entries"] == 2
-    assert cache.clear() == 2
+    swept = cache.clear()
+    assert swept["entries"] + swept["packed"] == 2
     assert cache.stats()["entries"] == 0
     assert cache.persistent_stats() == {"hits": 0, "misses": 0,
                                         "stores": 0}
@@ -349,9 +350,37 @@ def test_clear_removes_shard(tmp_path):
     cache.store(("c",), 3)
     assert cache.stats()["entries"] == 3
     assert cache.stats()["packed"] == 2
-    assert cache.clear() == 3
+    swept = cache.clear()
+    assert swept["entries"] + swept["packed"] == 3
     assert cache.stats()["entries"] == 0
     assert not (tmp_path / "entries.shard").exists()
+
+
+def test_clear_sweeps_droppings_but_keeps_live_holds(tmp_path):
+    """clear() sweeps spool/lock/hold droppings per category; hold
+    markers of live processes survive (they protect a running
+    service's cache view)."""
+    import os
+    cache = SimCache(tmp_path)
+    cache.store(("a",), 1)
+    cache.hits = 5
+    cache.flush_stats()  # leaves stats spool files behind
+    (tmp_path / "pack.lock").write_text("12345")
+    holds = tmp_path / "holds"
+    holds.mkdir()
+    live = holds / f"{os.getpid()}.live.hold"
+    live.write_text(str(os.getpid()))
+    (holds / "99999999.dead.hold").write_text("99999999")  # no such pid
+    swept = cache.clear()
+    assert swept["entries"] == 1
+    assert swept["locks"] == 1
+    assert swept["spool"] >= 1
+    assert swept["holds"] == 1  # dead-owner marker reaped
+    assert swept["live_holds"] == 1  # ours kept: the live-pid guard
+    assert live.exists()
+    assert not (holds / "99999999.dead.hold").exists()
+    assert not (tmp_path / "pack.lock").exists()
+    assert list(tmp_path.glob("stats-delta.*.json")) == []
 
 
 def test_pack_skipped_while_cache_is_held(tmp_path):
