@@ -1,0 +1,127 @@
+"""Bench: the prefetch subsystem's two performance promises.
+
+First, the characterization experiment is cacheable like every other:
+a warm ``prefetch`` run against a populated cache directory must
+re-render the full priority x depth/degree matrix (including the twin
+contexts' prefetch-on cells and the governed run) from disk,
+``WARM_FLOOR`` times faster than cold and byte-identical to it.
+
+Second, the subsystem is free when off: the default-off prefetcher
+sits on the L1-miss hot path of every simulation, so its cost there
+-- two attribute checks per miss -- is gated at ``OVERHEAD_CEIL``
+against a machine with the prefetcher nulled out entirely
+(``hierarchy._pf = None``, the alias the hot path reads).
+
+Results land in the ``"prefetch"`` section of ``BENCH_simcore.json``
+via read-modify-write, so concurrent bench sections never clobber
+each other.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import tempfile
+import time
+
+from repro.config import POWER5
+from repro.core import make_core
+from repro.experiments import ExperimentContext, run_many
+from repro.microbench import make_microbenchmark
+from repro.simcache import SimCache
+from repro.workloads.tracecache import clear_cache
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Minimum cold/warm wall-clock ratio for the prefetch experiment.
+WARM_FLOOR = 3.0
+
+#: Maximum fractional slowdown the default-off prefetcher may add to
+#: a miss-heavy run versus a prefetcher-free memory hierarchy.
+OVERHEAD_CEIL = 0.05
+
+SECONDARY_BASE = (1 << 27) + 8192
+
+
+def _run_prefetch(cache_dir):
+    """One planned prefetch run; returns (report, wall, cache stats)."""
+    clear_cache()
+    cache = SimCache(cache_dir)
+    ctx = ExperimentContext(config=POWER5.small(), min_repetitions=3,
+                            max_cycles=2_500_000, pmu=True,
+                            simcache=cache)
+    start = time.perf_counter()
+    (report,) = run_many(["prefetch"], ctx)
+    wall = time.perf_counter() - start
+    return report, wall, cache.stats()
+
+
+def _step_wall(null_pf: bool, cycles: int = 400_000) -> float:
+    """Best-of-3 wall-clock of a miss-heavy pair run."""
+    config = POWER5.small()
+    best = float("inf")
+    for _ in range(3):
+        core = make_core(config)
+        core.load([make_microbenchmark("ldint_mem", config),
+                   make_microbenchmark("ldint_mem", config,
+                                       base_address=SECONDARY_BASE)],
+                  priorities=(4, 4))
+        if null_pf:
+            core.hierarchy._pf = None
+        start = time.perf_counter()
+        core.step(cycles)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_bench_prefetch_cold_vs_warm_and_default_off_overhead(
+        save_report):
+    with tempfile.TemporaryDirectory() as tmp:
+        cold_report, cold_wall, cold_stats = _run_prefetch(tmp)
+        warm_report, warm_wall, warm_stats = _run_prefetch(tmp)
+    save_report(cold_report)
+
+    # Transparency: the warm sweep (twin contexts included) is pure
+    # cache reads.
+    assert repr(cold_report) == repr(warm_report)
+    assert cold_stats["stores"] == cold_stats["misses"] > 0
+    assert warm_stats["misses"] == 0
+
+    bare = _step_wall(null_pf=True)
+    default_off = _step_wall(null_pf=False)
+    overhead = (default_off - bare) / bare
+
+    claims = cold_report.data["claims"]
+    speedup = cold_wall / warm_wall if warm_wall else None
+    section = {
+        "cold_wall_s": round(cold_wall, 2),
+        "warm_wall_s": round(warm_wall, 2),
+        "speedup_warm": round(speedup, 2) if speedup else None,
+        "cells_cached": cold_stats["stores"],
+        "default_off_overhead_frac": round(overhead, 4),
+        "cotuning_margins": {
+            e["pair"]: round(e["margin_frac"], 4)
+            for e in claims["cotuning_margins"]},
+        "governed_tail_ratio": round(claims["governed_tail_ratio"], 4),
+        "reports_identical": True,
+    }
+
+    # Read-modify-write: only this bench owns the "prefetch" section.
+    out = ROOT / "BENCH_simcore.json"
+    try:
+        payload = json.loads(out.read_text())
+    except (OSError, ValueError):
+        payload = {}
+    payload["prefetch"] = section
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    assert claims["baseline_prefetch_silent"]
+    assert claims["cotuning_gains_some_pair"]
+    assert claims["governed_reaches_best_static"]
+    assert speedup is not None and speedup >= WARM_FLOOR, (
+        f"warm prefetch run only {speedup:.2f}x faster than cold "
+        f"({warm_wall:.2f}s vs {cold_wall:.2f}s), floor {WARM_FLOOR}")
+    assert overhead <= OVERHEAD_CEIL, (
+        f"default-off prefetcher adds {overhead:.2%} to a miss-heavy "
+        f"run ({default_off:.3f}s vs {bare:.3f}s), "
+        f"ceiling {OVERHEAD_CEIL:.0%}")

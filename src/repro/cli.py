@@ -12,6 +12,8 @@ Usage::
     power5-repro table3 --governor ipc_balance --governor-epoch 500
     power5-repro dse                    # throughput-per-watt sweep
     power5-repro dse --energy-node 22 --energy-freq 0.8
+    power5-repro prefetch               # prefetch x priority matrix
+    power5-repro table3 --prefetch --prefetch-depth 8
     power5-repro all --no-simcache      # force fresh simulation
     power5-repro cache                  # cache statistics
     power5-repro cache --clear          # purge cached results
@@ -101,7 +103,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="run every pair measurement under this closed-loop "
              "policy instead of static priorities (see "
              "repro.governor.POLICIES: static, ipc_balance, "
-             "throughput_max, transparent, pipeline)")
+             "throughput_max, transparent, pipeline, energy_budget, "
+             "prefetch_adapt)")
     gov.add_argument(
         "--governor-epoch", type=int, default=0, metavar="N",
         help="governor sampling epoch in cycles "
@@ -147,6 +150,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="'chip' experiment: run each scheduled pair under a "
              "per-core closed-loop governor (static, ipc_balance, "
              "throughput_max)")
+    pf = parser.add_argument_group(
+        "prefetch (software-controlled stream prefetcher)")
+    pf.add_argument(
+        "--prefetch", action="store_true",
+        help="enable the stream/stride prefetcher on both hardware "
+             "threads for every measurement (default: off, the "
+             "pre-prefetch machine)")
+    pf.add_argument(
+        "--prefetch-depth", type=int, default=4, metavar="N",
+        help="prefetch run-ahead horizon in lines (1..32, default 4; "
+             "requires --prefetch)")
+    pf.add_argument(
+        "--prefetch-degree", type=int, default=2, metavar="N",
+        help="fills issued per stream advance (1..min(depth, 8), "
+             "default 2; requires --prefetch)")
     energy = parser.add_argument_group("energy model / DSE")
     energy.add_argument(
         "--energy-node", type=int, default=45, metavar="NM",
@@ -226,10 +244,26 @@ def _validate_args(args) -> str | None:
         return ("--governor-epoch is set but nothing consumes it: "
                 "select --governor or --chip-governor, or run the "
                 "'governor' experiment")
-    if args.pmu_sample and not (args.pmu
-                                or args.experiment in ("pmu", "dse")):
-        return ("--pmu-sample requires --pmu (or the 'pmu'/'dse' "
-                "experiments)")
+    if args.pmu_sample and not (
+            args.pmu or args.experiment in ("pmu", "dse", "prefetch")):
+        return ("--pmu-sample requires --pmu (or the "
+                "'pmu'/'dse'/'prefetch' experiments)")
+    if not args.prefetch and (args.prefetch_depth != 4
+                              or args.prefetch_degree != 2):
+        return ("--prefetch-depth/--prefetch-degree have no effect "
+                "without --prefetch")
+    if args.prefetch:
+        if args.experiment == "prefetch":
+            return ("the 'prefetch' experiment owns its prefetch "
+                    "points; --prefetch only applies to other "
+                    "experiments")
+        from repro.prefetch import PrefetchConfig
+        try:
+            PrefetchConfig(enabled=(True, True),
+                           depth=args.prefetch_depth,
+                           degree=args.prefetch_degree)
+        except ValueError as exc:
+            return str(exc)
     from repro.energy import TECH_NODES
     if args.energy_node not in TECH_NODES:
         return (f"--energy-node must be one of "
@@ -288,6 +322,11 @@ def main(argv: list[str] | None = None) -> int:
         config = dataclasses.replace(config, fast_forward=False)
     if args.engine:
         config = dataclasses.replace(config, engine=args.engine)
+    if args.prefetch:
+        from repro.prefetch import PrefetchConfig
+        config = config.replace(prefetch=PrefetchConfig(
+            enabled=(True, True), depth=args.prefetch_depth,
+            degree=args.prefetch_degree))
     simcache = None
     if args.simcache:
         from repro.simcache import SimCache
@@ -301,7 +340,8 @@ def main(argv: list[str] | None = None) -> int:
                             max_cycles=args.max_cycles,
                             jobs=args.jobs,
                             pmu=args.pmu
-                            or args.experiment in ("pmu", "dse"),
+                            or args.experiment in ("pmu", "dse",
+                                                   "prefetch"),
                             pmu_sample=args.pmu_sample,
                             governor=args.governor,
                             governor_epoch=args.governor_epoch,

@@ -9,6 +9,7 @@ from repro.config.power5 import (
     MemoryConfig,
     TLBConfig,
 )
+from repro.prefetch.config import PrefetchConfig
 
 __all__ = [
     "POWER5",
@@ -18,4 +19,5 @@ __all__ = [
     "MemoryConfig",
     "BranchConfig",
     "BalancerConfig",
+    "PrefetchConfig",
 ]

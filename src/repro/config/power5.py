@@ -21,6 +21,8 @@ import dataclasses
 import hashlib
 from dataclasses import dataclass, field
 
+from repro.prefetch.config import PrefetchConfig
+
 
 @dataclass(frozen=True)
 class CacheConfig:
@@ -172,6 +174,9 @@ class CoreConfig:
     memory: MemoryConfig = field(default_factory=MemoryConfig)
     branch: BranchConfig = field(default_factory=BranchConfig)
     balancer: BalancerConfig = field(default_factory=BalancerConfig)
+    # Software-controlled stream/stride prefetcher (default: off on
+    # both threads, in which case it never influences simulation).
+    prefetch: PrefetchConfig = field(default_factory=PrefetchConfig)
 
     # Nominal clock, used only to report simulated cycles as seconds.
     clock_hz: float = 1.65e9
@@ -198,10 +203,17 @@ class CoreConfig:
         The simulation-engine switches (``fast_forward``, ``engine``)
         are excluded -- they never change simulated behaviour, only how
         the step loop advances time, so results cached under one engine
-        stay valid (and shared) under the other.
+        stay valid (and shared) under the other.  A fully disabled
+        prefetcher is excluded for the same reason: it never trains,
+        issues or counts, so every ``enabled=(False, False)`` variant
+        collapses onto the hash of a machine with no prefetcher at all
+        (keeping caches from before the subsystem existed valid).
         """
         canonical = repr(dataclasses.replace(
             self, fast_forward=True, engine="array"))
+        if not self.prefetch.enabled_any:
+            canonical = canonical.replace(
+                f", prefetch={self.prefetch!r}", "", 1)
         return hashlib.sha256(canonical.encode()).hexdigest()[:16]
 
 

@@ -123,6 +123,10 @@ def _counter_slots(core):
     for name in _BALANCER_STATS:
         pair = getattr(core.balancer.stats, name)
         slots += [(pair, 0), (pair, 1)]
+    pstats = hier.prefetcher.stats
+    for pair in (pstats.allocs, pstats.issues, pstats.hits,
+                 pstats.useless, pstats.late):
+        slots += [(pair, 0), (pair, 1)]
     return slots
 
 
@@ -202,6 +206,23 @@ def _signature(core, tab_len, thr_interval, bal_on):
     dram = hier.dram
     horizon = now - dram.config.dram_bus_gap
     parts.append(tuple(s - now for s in dram._starts if s > horizon))
+    pf = hier.prefetcher
+    # Prefetcher phase state.  Stream entries and miss lines are
+    # absolute but periodic (looping working sets revisit the same
+    # lines); in-flight fill ready times are future-dated and clamped
+    # like scoreboard entries -- any past ready behaves as "arrived"
+    # (a consuming demand always completes after ``now``), and the
+    # tuple order pins the insertion order the capacity eviction
+    # walks.  The live knobs ride along even though every knob write
+    # also voids the regime through ``knob_gen``.
+    parts.append((tuple(pf.on), tuple(pf.depth), tuple(pf.degree)))
+    for tid in (0, 1):
+        parts.append((
+            tuple(tuple(e) for e in pf._streams[tid]),
+            tuple((ln, r - now if r > now else 0)
+                  for ln, r in pf._inflight[tid].items()),
+            pf._prev[tid],
+        ))
     parts.append(_recency_sig(hier.tlb._sets))
     parts.append(_recency_sig(hier.l1d._sets))
     parts.append(_recency_sig(hier.l2._sets))
@@ -244,9 +265,9 @@ class SteadyReplay:
     """
 
     __slots__ = ("core", "disabled", "state", "period", "anchor", "arb",
-                 "slots", "sig1", "snap", "lens", "base", "deltas",
-                 "suffix", "tab_len", "thr_interval", "bal_on", "jumps",
-                 "jumped_cycles", "_retry_at", "_fails")
+                 "pf_gen", "slots", "sig1", "snap", "lens", "base",
+                 "deltas", "suffix", "tab_len", "thr_interval", "bal_on",
+                 "jumps", "jumped_cycles", "_retry_at", "_fails")
 
     def __init__(self, core):
         self.core = core
@@ -255,6 +276,7 @@ class SteadyReplay:
         self.period = 0
         self.anchor = 0
         self.arb = None
+        self.pf_gen = -1
         self.slots = _counter_slots(core)
         self.sig1 = None
         self.snap = None
@@ -281,10 +303,12 @@ class SteadyReplay:
         dense = core._step_dense
         while core._cycle < end:
             now = core._cycle
-            if self.state != _IDLE and core._arbiter is not self.arb:
-                # Priorities changed (sysfs write, priority nop): the
-                # dispatch phasing the regime was verified against is
-                # gone, so the regime is void.
+            if self.state != _IDLE and (
+                    core._arbiter is not self.arb
+                    or core.hierarchy.prefetcher.knob_gen != self.pf_gen):
+                # Priorities changed (sysfs write, priority nop) or a
+                # prefetch knob was retuned: the behaviour the regime
+                # was verified against is gone, so the regime is void.
                 self.state = _IDLE
                 self.sig1 = self.deltas = self.suffix = None
                 continue
@@ -347,6 +371,7 @@ class SteadyReplay:
         self.period = period
         self.anchor = core._cycle
         self.arb = core._arbiter
+        self.pf_gen = core.hierarchy.prefetcher.knob_gen
         self.thr_interval = core.balancer.config.throttle_interval
         self.sig1 = _signature(core, self.tab_len, self.thr_interval,
                                self.bal_on)
@@ -467,6 +492,12 @@ class SteadyReplay:
         if starts:
             horizon = now - dram.config.dram_bus_gap
             starts[:] = [s + dt for s in starts if s > horizon]
+        for inflight in hier.prefetcher._inflight:
+            for line, ready in inflight.items():
+                if ready > now:
+                    # In-place update preserves the insertion order
+                    # the capacity eviction depends on.
+                    inflight[line] = ready + dt
         if self.bal_on:
             core.balancer.next_window += dt
         core._cycle = now + dt

@@ -52,6 +52,16 @@ DEFAULT_WEIGHTS: tuple[tuple[str, float], ...] = (
     ("PM_ST_CMPL", 320.0),
     ("PM_TLB_MISS", 800.0),
     ("PM_LMQ_ACQ", 90.0),
+    # Prefetch engine overheads.  The fills' bus/DRAM traffic is
+    # already priced through PM_DRAM_ACCESS (prefetch fills increment
+    # it like demand misses), so these weights cover only the engine
+    # itself: stream-table allocation, issue-queue slots, and the
+    # wasted tag probes/buffer churn of useless fills.  All three
+    # count zero with the prefetcher off, keeping existing energy
+    # reports bit-identical.
+    ("PM_PREF_ALLOC", 40.0),
+    ("PM_PREF_ISSUE", 120.0),
+    ("PM_PREF_USELESS", 60.0),
     # Speculation / balance-flush waste.
     ("PM_BR_MPRED", 500.0),
     ("PM_BAL_FLUSH", 400.0),

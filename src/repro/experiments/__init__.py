@@ -27,6 +27,7 @@ from repro.experiments.figure6 import run_figure6
 from repro.experiments.governor import run_governor
 from repro.experiments.modelcheck import run_modelcheck
 from repro.experiments.noise import run_noise
+from repro.experiments.prefetch import run_prefetch
 from repro.experiments.registry import (
     EXPERIMENTS,
     run_all,
@@ -74,6 +75,7 @@ __all__ = [
     "run_governor",
     "run_chip",
     "run_dse",
+    "run_prefetch",
     "CHIP_MIXES",
     "CHIP_POLICIES",
     "chip_cell",

@@ -39,6 +39,7 @@ from repro.experiments import (
     figure6,
     governor,
     modelcheck,
+    prefetch,
     table3,
 )
 from repro.experiments.base import ExperimentContext
@@ -58,6 +59,10 @@ CELL_PLANNERS = {
     "governor": lambda ctx: governor.static_cells(),
     "chip": lambda ctx: chip.cells(ctx),
     "dse": lambda ctx: dse.cells(ctx),
+    # The prefetch experiment plans only its default-off baseline
+    # matrix here: its prefetch-on cells belong to per-(depth, degree)
+    # twin configs, which a single-context batch cannot carry.
+    "prefetch": lambda ctx: prefetch.cells(ctx),
 }
 
 #: Phase-2 planners: cells whose keys are functions of phase-1
@@ -65,6 +70,7 @@ CELL_PLANNERS = {
 DEFERRED_PLANNERS = {
     "governor": lambda ctx: governor.governed_cells(ctx),
     "dse": lambda ctx: dse.governed_cells(ctx),
+    "prefetch": lambda ctx: prefetch.governed_cells(ctx),
 }
 
 

@@ -16,6 +16,7 @@ from repro.experiments.figure6 import run_figure6
 from repro.experiments.governor import run_governor
 from repro.experiments.modelcheck import run_modelcheck
 from repro.experiments.noise import run_noise
+from repro.experiments.prefetch import run_prefetch
 from repro.experiments.report import ExperimentReport
 from repro.experiments.table1 import run_table1
 from repro.experiments.table3 import run_table3
@@ -40,6 +41,7 @@ EXPERIMENTS: dict[str, Callable[[ExperimentContext | None],
     "governor": run_governor,
     "chip": run_chip,
     "dse": run_dse,
+    "prefetch": run_prefetch,
 }
 
 

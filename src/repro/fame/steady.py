@@ -261,13 +261,17 @@ def _signature(core: SMTCore, th):
     now = core.cycle
     counters = tuple(getattr(th, f) for f in _COUNTER_FIELDS)
     hier = core.hierarchy
+    pf = hier.prefetcher
     extra = (len(th.rep_end_times),
              th.rep_end_times[-1] if th.rep_end_times else 0,
              th.rep_end_retired[-1] if th.rep_end_retired else 0,
              th.rep_index,
              *(c for counts in hier.level_counts.values() for c in counts),
              *hier.store_counts,
-             hier.dram.accesses)
+             hier.dram.accesses,
+             *(n for s in (pf.stats.allocs, pf.stats.issues,
+                           pf.stats.hits, pf.stats.useless,
+                           pf.stats.late) for n in s))
     phase = (now - (th.rep_end_times[-1] if th.rep_end_times else 0),
              th.pos,
              th.gated,
@@ -283,7 +287,18 @@ def _signature(core: SMTCore, th):
              tuple(max(r - now, 0) for r in th.reg_ready[:NUM_REGS]),
              tuple((g[0] - now, g[1], g[2])
                    for g in th.inflight),
-             core.priorities)
+             core.priorities,
+             # Prefetcher state: stream tables (line numbers repeat
+             # over a buffer walk, so absolute values are periodic),
+             # in-flight fills with ready times relative to now, and
+             # the stride detector's last-miss line.  Without these a
+             # period whose observable counters happen to match could
+             # hide a drifting prefetch phase that changes the future.
+             tuple(tuple(tuple(e) for e in s) for s in pf._streams),
+             tuple(tuple((ln, max(r - now, 0))
+                         for ln, r in d.items())
+                   for d in pf._inflight),
+             tuple(pf._prev))
     return counters, extra, phase
 
 

@@ -17,9 +17,9 @@ events.
 - :class:`Governor` -- the control loop; one instance per measurement.
 - :class:`GovernorDecision` -- one frozen per-epoch decision record
   (cycle, observed IPCs, chosen priorities, reason).
-- :mod:`repro.governor.policies` -- the policy framework and the six
-  shipped policies (static, IPC-balance, throughput-max, transparent,
-  pipeline, energy-budget).
+- :mod:`repro.governor.policies` -- the policy framework and the
+  seven shipped policies (static, IPC-balance, throughput-max,
+  transparent, pipeline, energy-budget, prefetch-adapt).
 
 Determinism: the epoch hook rides the existing periodic-hook
 machinery, which both simulation engines honour exactly (the
@@ -41,6 +41,7 @@ from repro.governor.policies import (
     IpcBalancePolicy,
     PipelinePolicy,
     Policy,
+    PrefetchAdaptPolicy,
     StaticPolicy,
     ThroughputMaxPolicy,
     TransparentPolicy,
@@ -59,6 +60,7 @@ __all__ = [
     "TransparentPolicy",
     "PipelinePolicy",
     "EnergyBudgetPolicy",
+    "PrefetchAdaptPolicy",
     "POLICIES",
     "make_policy",
 ]

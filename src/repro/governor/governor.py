@@ -127,6 +127,11 @@ class Governor:
         self._initial_priorities = prio
         self.decisions = []
         self.policy.reset()
+        # Policies controlling knobs beyond priorities (e.g. the
+        # prefetch co-tuner) receive the kernel's sysfs surface here.
+        bind = getattr(self.policy, "bind", None)
+        if bind is not None:
+            bind(self)
         self._prev_bank = CounterBank.capture(core, cycles=core.cycle)
         core.add_periodic_hook(self.config.epoch, self._on_epoch)
 

@@ -32,6 +32,12 @@ Six policies ship:
   under a cap by duty-cycling between normal arbitration and the
   paper's (1,1) low-power mode, pricing each epoch's counter delta
   with :mod:`repro.energy`.
+- :class:`PrefetchAdaptPolicy` -- co-tunes prefetch aggressiveness and
+  SMT priority: enables the stream prefetcher, steers each thread's
+  depth/degree by the useless/late prefetch counters through the
+  ``smt_prefetch`` sysfs files, and hill-climbs priorities between
+  knob moves (Prat et al.'s per-phase prefetcher reconfiguration,
+  joined with this paper's priority control).
 
 Every policy is pure state-machine code over its observations -- no
 clocks, no randomness -- so governed runs stay bit-identical across
@@ -43,6 +49,7 @@ from __future__ import annotations
 from collections.abc import Callable
 
 from repro.governor.config import GovernorConfig
+from repro.prefetch.config import MAX_DEGREE, MAX_DEPTH
 
 #: A decision: (target priorities or None, human-readable reason).
 Decision = tuple[tuple[int, int] | None, str]
@@ -479,6 +486,134 @@ class EnergyBudgetPolicy(Policy):
         return None, f"on budget (avg {avg:.3f} W, cap {cap:.3f} W)"
 
 
+class PrefetchAdaptPolicy(Policy):
+    """Co-tune (priority, prefetch depth/degree) online.
+
+    The policy owns two knob sets with different actuation paths:
+    priorities go through the governor's normal decision return (the
+    ``smt_priority`` files), while prefetch knobs are written directly
+    through the patched kernel's ``smt_prefetch`` files -- the policy
+    receives the kernel via :meth:`bind` at attach time.
+
+    Control interleaves the two axes one move at a time.  Epoch 0
+    enables prefetching on both threads at the configured starting
+    point.  Then, per thread, ``PM_PREF_*`` deltas are *accumulated*
+    across epochs until at least ``_MIN_RESOLVED`` fills have resolved
+    -- a short epoch yields single-digit counts whose fractions are
+    pure noise, and reacting to them would jitter the knobs every
+    epoch -- and the accumulated outcome fractions then drive one
+    move: *waste* (useless fills over all resolved fills) backs off
+    (degree first, then depth: fewer fills per trigger before a
+    shorter horizon); timely-but-*late* consumption extends the
+    horizon (depth up).  Each evaluation restarts the accumulator, so
+    a move is judged on fresh evidence.  Epochs with no knob move fall
+    through to an embedded :class:`ThroughputMaxPolicy`, so the
+    priority hill-climb measures assignments under settled prefetch
+    behaviour; a knob move itself holds priorities for that epoch (and
+    observes the governor's cooldown before the next move).
+    """
+
+    name = "prefetch_adapt"
+
+    #: Outcome fractions beyond which a knob reacts.
+    _WASTE_FRAC = 0.4
+    _LATE_FRAC = 0.6
+
+    #: Resolved fills required before the fractions are trusted.
+    _MIN_RESOLVED = 32
+
+    def __init__(self, config: GovernorConfig,
+                 depth: int = 4, degree: int = 2):
+        super().__init__(config)
+        if not 1 <= depth <= MAX_DEPTH:
+            raise ValueError(f"depth must be in 1..{MAX_DEPTH}, "
+                             f"got {depth}")
+        if not 1 <= degree <= min(depth, MAX_DEGREE):
+            raise ValueError(f"degree must be in 1..min(depth, "
+                             f"{MAX_DEGREE}), got {degree}")
+        self._depth0 = depth
+        self._degree0 = degree
+        self._prio = ThroughputMaxPolicy(config)
+        self._kernel = None
+        self.reset()
+
+    def reset(self) -> None:
+        self._started = False
+        self._cool = 0
+        self._depth = [self._depth0, self._depth0]
+        self._degree = [self._degree0, self._degree0]
+        # Per thread: [hits, late, useless] accumulated since the last
+        # knob evaluation.
+        self._acc = [[0, 0, 0], [0, 0, 0]]
+        self._prio.reset()
+
+    def bind(self, governor) -> None:
+        """Receive the actuation path (called by Governor.attach)."""
+        self._kernel = governor.kernel
+
+    def _write(self, tid: int, knob: str, value: int) -> None:
+        self._kernel.sysfs.write(
+            f"{self._kernel.PREFETCH_SYSFS_DIR}/thread{tid}/{knob}",
+            str(int(value)))
+
+    def _tune(self, tid: int) -> str | None:
+        """One prefetch knob move for one thread, or None to hold."""
+        hits, late, useless = self._acc[tid]
+        resolved = hits + late + useless
+        if resolved < self._MIN_RESOLVED:
+            return None
+        self._acc[tid] = [0, 0, 0]
+        if useless > self._WASTE_FRAC * resolved:
+            if self._degree[tid] > 1:
+                self._degree[tid] -= 1
+                self._write(tid, "degree", self._degree[tid])
+                return (f"t{tid} waste {useless}/{resolved}: "
+                        f"degree down to {self._degree[tid]}")
+            if self._depth[tid] > 1:
+                self._depth[tid] -= 1
+                self._write(tid, "depth", self._depth[tid])
+                return (f"t{tid} waste {useless}/{resolved}: "
+                        f"depth down to {self._depth[tid]}")
+            return None
+        consumed = hits + late
+        if (consumed and late > self._LATE_FRAC * consumed
+                and self._depth[tid] < MAX_DEPTH):
+            self._depth[tid] += 1
+            self._write(tid, "depth", self._depth[tid])
+            return (f"t{tid} late {late}/{consumed}: "
+                    f"depth up to {self._depth[tid]}")
+        return None
+
+    def decide(self, obs) -> Decision:
+        if self._kernel is None:
+            return None, "not bound to a kernel"
+        if not self._started:
+            self._started = True
+            for tid in (0, 1):
+                self._write(tid, "depth", self._depth[tid])
+                self._write(tid, "degree", self._degree[tid])
+                self._write(tid, "enable", 1)
+            self._cool = self.config.cooldown
+            return None, (f"prefetch on, depth {self._depth0} "
+                          f"degree {self._degree0}")
+        if obs.bank is not None:
+            for tid in (0, 1):
+                self._acc[tid][0] += obs.bank.value("PM_LD_PREF_HIT",
+                                                    tid)
+                self._acc[tid][1] += obs.bank.value("PM_PREF_LATE", tid)
+                self._acc[tid][2] += obs.bank.value("PM_PREF_USELESS",
+                                                    tid)
+        if self._cool:
+            self._cool -= 1
+        else:
+            for tid in (0, 1):
+                reason = self._tune(tid)
+                if reason is not None:
+                    self._cool = self.config.cooldown
+                    return None, reason
+        return self._prio.decide(obs)
+
+
 #: Policy registry: id -> factory(config, **params).
 POLICIES: dict[str, Callable[..., Policy]] = {
     StaticPolicy.name: StaticPolicy,
@@ -487,6 +622,7 @@ POLICIES: dict[str, Callable[..., Policy]] = {
     TransparentPolicy.name: TransparentPolicy,
     PipelinePolicy.name: PipelinePolicy,
     EnergyBudgetPolicy.name: EnergyBudgetPolicy,
+    PrefetchAdaptPolicy.name: PrefetchAdaptPolicy,
 }
 
 

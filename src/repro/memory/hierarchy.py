@@ -16,6 +16,7 @@ from repro.memory.cache import SetAssociativeCache
 from repro.memory.dram import DRAM
 from repro.memory.lmq import LoadMissQueue
 from repro.memory.tlb import TLB
+from repro.prefetch import StreamPrefetcher
 
 
 class MemLevel(enum.IntEnum):
@@ -79,6 +80,16 @@ class MemoryHierarchy:
         self._l2_counts = self.level_counts[MemLevel.L2]
         self._l3_counts = self.level_counts[MemLevel.L3]
         self._mem_counts = self.level_counts[MemLevel.MEM]
+        # The software-controlled prefetcher (repro.prefetch).  Always
+        # constructed -- the config only sets the *initial* knobs and
+        # sysfs may enable it later -- but consulted on the L1-miss
+        # path only when the missing thread's enable bit is set, so a
+        # never-enabled prefetcher costs two attribute checks per miss
+        # and influences nothing.  ``_pf`` is the hot alias (tests and
+        # benchmarks may null it to measure a prefetcher-free machine).
+        self.prefetcher = StreamPrefetcher(
+            config.prefetch, config.l2.line_bytes, self._mem_duration)
+        self._pf = self.prefetcher
 
     def reset(self) -> None:
         """Invalidate all state and statistics."""
@@ -88,6 +99,7 @@ class MemoryHierarchy:
         self.l3.reset()
         self.lmq.reset()
         self.dram.reset()
+        self.prefetcher.reset()
         for counts in self.level_counts.values():
             counts[0] = counts[1] = 0
         self.store_counts[0] = self.store_counts[1] = 0
@@ -113,6 +125,31 @@ class MemoryHierarchy:
         # L1 miss: probe the lower levels to learn the servicing level
         # (and its duration), then reserve an LMQ slot for it.
         want = issue + latency
+        pf = self._pf
+        pf_on = pf is not None and pf.on[thread_id]
+        if pf_on:
+            ready = pf.consume(addr, thread_id)
+            if ready >= 0:
+                # The line is (or soon will be) in flight from a
+                # prefetch fill: install it into the L2 and service
+                # the demand as an L2 access, completing no earlier
+                # than the fill arrives.
+                self.l2.access(addr, want, thread_id)
+                duration = self.config.l2.latency
+                start = self.lmq.acquire(want, now, thread_id, duration)
+                port = self.chip_port
+                if port is not None:
+                    start = port.l2_grant(start, thread_id)
+                complete = start + duration
+                if ready > complete:
+                    complete = ready
+                    pf.account(thread_id, True)
+                else:
+                    pf.account(thread_id, False)
+                self.lmq.fill(complete)
+                self.level_counts[MemLevel.L2][thread_id] += 1
+                pf.observe(self, addr, want, now, thread_id)
+                return LoadResult(complete, MemLevel.L2)
         if self.l2.access(addr, want, thread_id):
             level = MemLevel.L2
             duration = self.config.l2.latency
@@ -135,6 +172,8 @@ class MemoryHierarchy:
             complete = start + duration
         self.lmq.fill(complete)
         self.level_counts[level][thread_id] += 1
+        if pf_on:
+            pf.observe(self, addr, want, now, thread_id)
         return LoadResult(complete, level)
 
     def load_complete(self, addr: int, issue: int, thread_id: int = 0,
@@ -158,6 +197,26 @@ class MemoryHierarchy:
             return issue + lat + self._l1_latency
         want = issue + lat
         port = self.chip_port
+        pf = self._pf
+        pf_on = pf is not None and pf.on[thread_id]
+        if pf_on:
+            ready = pf.consume(addr, thread_id)
+            if ready >= 0:
+                self.l2.access(addr, want, thread_id)
+                duration = self._l2_latency
+                start = self.lmq.acquire(want, now, thread_id, duration)
+                if port is not None:
+                    start = port.l2_grant(start, thread_id)
+                complete = start + duration
+                if ready > complete:
+                    complete = ready
+                    pf.account(thread_id, True)
+                else:
+                    pf.account(thread_id, False)
+                self.lmq.fill(complete)
+                self._l2_counts[thread_id] += 1
+                pf.observe(self, addr, want, now, thread_id)
+                return complete
         if self.l2.access(addr, want, thread_id):
             duration = self._l2_latency
             start = self.lmq.acquire(want, now, thread_id, duration)
@@ -181,6 +240,8 @@ class MemoryHierarchy:
             complete = self.dram.access(start, now, thread_id)
             self._mem_counts[thread_id] += 1
         self.lmq.fill(complete)
+        if pf_on:
+            pf.observe(self, addr, want, now, thread_id)
         return complete
 
     def store(self, addr: int, now: int, thread_id: int = 0) -> int:

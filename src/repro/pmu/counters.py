@@ -86,6 +86,11 @@ class CounterBank:
             "PM_LMQ_WAIT_CYC": pair(hier.lmq.thread_wait_cycles),
             "PM_DRAM_ACCESS": pair(hier.dram.thread_accesses),
             "PM_DRAM_QUEUE_CYC": pair(hier.dram.thread_queue_cycles),
+            "PM_PREF_ALLOC": pair(hier.prefetcher.stats.allocs),
+            "PM_PREF_ISSUE": pair(hier.prefetcher.stats.issues),
+            "PM_LD_PREF_HIT": pair(hier.prefetcher.stats.hits),
+            "PM_PREF_USELESS": pair(hier.prefetcher.stats.useless),
+            "PM_PREF_LATE": pair(hier.prefetcher.stats.late),
             "PM_BR_MPRED": per_thread("mispredicts"),
             "PM_BAL_FLUSH": per_thread("flushes"),
             "PM_BAL_FLUSH_INST": per_thread("flushed_instructions"),
@@ -132,8 +137,19 @@ class CounterBank:
     @classmethod
     def from_tuple(cls, cycles: int, priorities: tuple[int, int],
                    data: tuple) -> "CounterBank":
-        """Rebuild a bank from :meth:`as_tuple` output."""
-        return cls(cycles, priorities, {name: tuple(v) for name, v in data})
+        """Rebuild a bank from :meth:`as_tuple` output.
+
+        Registered events absent from ``data`` are backfilled as zero:
+        cached/pickled banks from before an event existed stay
+        readable, and the backfill is exact because new events always
+        describe hardware that, in those runs, did not exist (e.g. the
+        ``PM_PREF_*`` counters of a machine with no prefetcher).
+        """
+        values = {name: tuple(v) for name, v in data}
+        for name in EVENT_NAMES:
+            if name not in values:
+                values[name] = (0, 0)
+        return cls(cycles, priorities, values)
 
     def __reduce__(self):
         # Serialize through the canonical tuple form rather than the

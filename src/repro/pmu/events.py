@@ -67,6 +67,16 @@ EVENTS: tuple[EventDef, ...] = (
     EventDef("PM_DRAM_ACCESS", "memory", "DRAM bus transfers"),
     EventDef("PM_DRAM_QUEUE_CYC", "memory", "cycles DRAM accesses queued "
              "behind the serialized bus"),
+    EventDef("PM_PREF_ALLOC", "memory", "prefetch streams allocated by "
+             "the stride detector"),
+    EventDef("PM_PREF_ISSUE", "memory", "prefetch fills issued to memory "
+             "(LMQ/bus/DRAM traffic)"),
+    EventDef("PM_LD_PREF_HIT", "memory", "L1-missing loads fully covered "
+             "by an in-flight prefetch fill"),
+    EventDef("PM_PREF_USELESS", "memory", "prefetch fills wasted (target "
+             "already cached, or dropped unconsumed)"),
+    EventDef("PM_PREF_LATE", "memory", "L1-missing loads that caught "
+             "their prefetch fill in flight (partial cover)"),
     # -- disruptions --------------------------------------------------
     EventDef("PM_BR_MPRED", "disrupt", "branch mispredict redirects"),
     EventDef("PM_BAL_FLUSH", "disrupt", "balancer flushes of this thread"),

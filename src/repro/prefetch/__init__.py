@@ -1,0 +1,30 @@
+"""Software-controlled stream/stride prefetcher subsystem.
+
+The public surface is small: :class:`PrefetchConfig` (the validated,
+fingerprint-stable knob block embedded in ``CoreConfig``) and
+:class:`StreamPrefetcher` (the load-triggered engine owned by
+``MemoryHierarchy``).  See ``engine.py`` for the full behavioural
+contract.
+"""
+
+from repro.prefetch.config import (
+    MAX_DEGREE,
+    MAX_DEPTH,
+    MAX_STREAMS,
+    PrefetchConfig,
+)
+from repro.prefetch.engine import (
+    INFLIGHT_CAP,
+    PrefetchStats,
+    StreamPrefetcher,
+)
+
+__all__ = [
+    "INFLIGHT_CAP",
+    "MAX_DEGREE",
+    "MAX_DEPTH",
+    "MAX_STREAMS",
+    "PrefetchConfig",
+    "PrefetchStats",
+    "StreamPrefetcher",
+]

@@ -1,0 +1,96 @@
+"""Validated configuration of the software-controlled prefetcher.
+
+The knobs mirror the DSCR-style controls POWER machines expose to
+software (and that Prat et al. retune per phase on POWER7): a
+per-thread enable, the *depth* of each stream (how many lines ahead of
+the demand stream the prefetcher runs), the *degree* (how many lines
+one trigger fetches), and the stride-N detector's geometry (stream
+table size and the number of consistent-stride misses required before
+a stream starts issuing).
+
+``PrefetchConfig`` rides inside :class:`repro.config.CoreConfig`, so
+it reaches every layer that keys on the machine configuration --
+trace/result caches, the service wire protocol, benchmark records.
+The config is the *initial* setting: the patched kernel's
+``/sys/kernel/smt_prefetch`` files retune the live knobs at run time,
+exactly as priorities are retuned through ``smt_priority``.
+
+This module deliberately imports nothing from the rest of the repro
+(only stdlib): :mod:`repro.config.power5` embeds it, and the
+prefetcher engine, the memory hierarchy and the service protocol all
+reach it without cycles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+#: Bounds of the runtime-tunable knobs (shared with the sysfs writers
+#: so configuration-time and run-time validation can never disagree).
+MAX_DEPTH = 32
+MAX_DEGREE = 8
+MAX_STREAMS = 32
+
+
+@dataclass(frozen=True)
+class PrefetchConfig:
+    """Stream/stride prefetcher knobs (default: fully disabled).
+
+    With ``enabled == (False, False)`` the prefetcher never trains,
+    never issues and never touches a counter, and the machine is
+    bit-identical to one without a prefetcher at all --
+    :meth:`repro.config.CoreConfig.fingerprint` relies on that to keep
+    default-off fingerprints (and therefore every cache key) equal to
+    the pre-prefetcher era's.
+    """
+
+    #: Per-hardware-thread enable (thread 0, thread 1).
+    enabled: tuple[bool, bool] = (False, False)
+    #: Lines ahead of the demand stream a stream may run (per stream).
+    depth: int = 4
+    #: Lines issued per confirmed-stream trigger.
+    degree: int = 2
+    #: Stream-table entries per thread.
+    streams: int = 8
+    #: Consistent-stride misses before a stream starts issuing.
+    stride_matches: int = 2
+
+    def __post_init__(self) -> None:
+        # The wire protocol decodes JSON, where the tuple arrives as a
+        # list of 0/1 -- normalise before validating.
+        enabled = tuple(bool(e) for e in self.enabled)
+        if len(enabled) != 2:
+            raise ValueError(
+                f"enabled must hold one flag per hardware thread, "
+                f"got {self.enabled!r}")
+        object.__setattr__(self, "enabled", enabled)
+        if not 1 <= self.depth <= MAX_DEPTH:
+            raise ValueError(
+                f"prefetch depth must be in 1..{MAX_DEPTH}, "
+                f"got {self.depth}")
+        if not 1 <= self.degree <= MAX_DEGREE:
+            raise ValueError(
+                f"prefetch degree must be in 1..{MAX_DEGREE}, "
+                f"got {self.degree}")
+        if self.degree > self.depth:
+            raise ValueError(
+                f"prefetch degree ({self.degree}) cannot exceed depth "
+                f"({self.depth}): one trigger may not run past the "
+                f"stream's lookahead")
+        if not 1 <= self.streams <= MAX_STREAMS:
+            raise ValueError(
+                f"prefetch streams must be in 1..{MAX_STREAMS}, "
+                f"got {self.streams}")
+        if self.stride_matches < 1:
+            raise ValueError(
+                f"stride_matches must be >= 1, got {self.stride_matches}")
+
+    @property
+    def enabled_any(self) -> bool:
+        """Whether any hardware thread starts with prefetch on."""
+        return self.enabled[0] or self.enabled[1]
+
+    def replace(self, **changes) -> "PrefetchConfig":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **changes)

@@ -41,13 +41,16 @@ from repro.config.power5 import (
     MemoryConfig,
     TLBConfig,
 )
+from repro.prefetch.config import PrefetchConfig
 
 #: Version of the request/response shapes described above.  Bump on
 #: any incompatible change; mismatched peers are refused at submit.
 #: v2: specs carry the energy operating point (energy_node,
 #: energy_freq) -- a v1 peer would silently drop the governed
 #: energy_budget cells' context.
-PROTOCOL_VERSION = 2
+#: v3: configs carry the prefetch knob block -- a v2 peer would
+#: silently simulate prefetch-enabled specs with the prefetcher off.
+PROTOCOL_VERSION = 3
 
 #: Context parameters that ride in a spec, in addition to the machine
 #: configuration.  Everything :meth:`ExperimentContext._simcache_key`
@@ -77,6 +80,7 @@ _CONFIG_NESTED = (
     ("memory", MemoryConfig),
     ("branch", BranchConfig),
     ("balancer", BalancerConfig),
+    ("prefetch", PrefetchConfig),
 )
 
 

@@ -12,6 +12,13 @@ Three changes relative to :class:`StockLinuxKernel`:
 
 and a ``/sys`` interface through which user applications change their
 priority: ``/sys/kernel/smt_priority/thread<N>``.
+
+The same patch also exports the core's DSCR-style prefetch controls
+(:mod:`repro.prefetch`) as sysfs files, one directory per hardware
+thread: ``/sys/kernel/smt_prefetch/thread<N>/{enable,depth,degree}``.
+Writes validate like the priority file (malformed or out-of-range
+values raise :class:`SysFSError` and change nothing) and take effect
+at the next L1 miss -- prefetch hardware is only consulted on misses.
 """
 
 from __future__ import annotations
@@ -27,6 +34,7 @@ class PatchedKernel(StockLinuxKernel):
     """Kernel with the paper's priority patch applied."""
 
     SYSFS_DIR = "/sys/kernel/smt_priority"
+    PREFETCH_SYSFS_DIR = "/sys/kernel/smt_prefetch"
 
     def __init__(self, timer_period: int | None = None):
         super().__init__(timer_period)
@@ -42,6 +50,11 @@ class PatchedKernel(StockLinuxKernel):
                 f"{self.SYSFS_DIR}/thread{tid}",
                 read=self._reader(core, tid),
                 write=self._writer(core, tid))
+            for knob in ("enable", "depth", "degree"):
+                self.sysfs.register(
+                    f"{self.PREFETCH_SYSFS_DIR}/thread{tid}/{knob}",
+                    read=self._pf_reader(core, tid, knob),
+                    write=self._pf_writer(core, tid, knob))
 
     def kernel_entry(self, core: SMTCore) -> None:
         """Patched: kernel entries do NOT touch thread priorities."""
@@ -95,4 +108,33 @@ class PatchedKernel(StockLinuxKernel):
             if not 0 <= level <= 7:
                 raise SysFSError(f"priority out of range: {level}")
             self.set_priority(core, tid, level)
+        return write
+
+    def _pf_reader(self, core: SMTCore, tid: int, knob: str):
+        def read() -> str:
+            pf = core.hierarchy.prefetcher
+            if knob == "enable":
+                return str(int(pf.on[tid]))
+            return str(pf.depth[tid] if knob == "depth" else pf.degree[tid])
+        return read
+
+    def _pf_writer(self, core: SMTCore, tid: int, knob: str):
+        def write(value: str) -> None:
+            try:
+                v = int(value.strip())
+            except ValueError:
+                raise SysFSError(
+                    f"invalid prefetch {knob}: {value!r}") from None
+            pf = core.hierarchy.prefetcher
+            try:
+                if knob == "enable":
+                    if v not in (0, 1):
+                        raise ValueError(f"enable must be 0 or 1, got {v}")
+                    pf.set_enable(tid, bool(v))
+                elif knob == "depth":
+                    pf.set_depth(tid, v)
+                else:
+                    pf.set_degree(tid, v)
+            except ValueError as exc:
+                raise SysFSError(str(exc)) from None
         return write

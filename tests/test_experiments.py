@@ -154,7 +154,7 @@ class TestExperimentRuns:
         assert set(EXPERIMENTS) == {
             "table1", "figure1", "table3", "figure2", "figure3",
             "figure4", "figure5", "table4", "figure6", "noise",
-            "modelcheck", "governor", "chip", "dse"}
+            "modelcheck", "governor", "chip", "dse", "prefetch"}
 
     def test_figure1_fame_accounting(self, ctx):
         from repro.experiments.figure1 import run_figure1

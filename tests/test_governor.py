@@ -87,7 +87,8 @@ class TestPolicyRegistry:
     def test_all_policies_registered(self):
         assert set(POLICIES) == {"static", "ipc_balance",
                                  "throughput_max", "transparent",
-                                 "pipeline", "energy_budget"}
+                                 "pipeline", "energy_budget",
+                                 "prefetch_adapt"}
 
     def test_make_policy(self):
         cfg = GovernorConfig()

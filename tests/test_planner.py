@@ -12,9 +12,12 @@ from __future__ import annotations
 
 import pytest
 
+from repro.config import POWER5, CoreConfig
 from repro.experiments import EXPERIMENTS, ExperimentContext, run_many
 from repro.experiments import dse, figure2, figure3, figure4, table3
-from repro.experiments.base import governed_cell
+from repro.experiments import prefetch as prefetch_exp
+from repro.experiments.base import governed_cell, pair_cell
+from repro.prefetch import PrefetchConfig
 from repro.experiments.planner import (
     CELL_PLANNERS,
     DEFERRED_PLANNERS,
@@ -119,3 +122,65 @@ def test_run_many_single_experiment_skips_planning():
 def test_run_many_rejects_unknown_ids():
     with pytest.raises(ValueError, match="unknown experiments"):
         run_many(["table3", "figureX"], _ctx())
+
+
+def test_prefetch_planner_registration_and_gating():
+    """prefetch plans its baseline (prefetch-off) matrix up front and
+    defers the governed cell (its key embeds the measured best
+    priority-only assignment from phase 1); prefetch-on cells belong
+    to twin contexts and never ride the shared batch."""
+    assert "prefetch" in CELL_PLANNERS and "prefetch" in DEFERRED_PLANNERS
+    pmu_ctx = _ctx(pmu=True)
+    planned = CELL_PLANNERS["prefetch"](pmu_ctx)
+    assert planned == prefetch_exp.cells(pmu_ctx) and planned
+    # A context the experiment cannot own cells for plans nothing.
+    assert CELL_PLANNERS["prefetch"](_ctx()) == []
+    assert DEFERRED_PLANNERS["prefetch"](_ctx()) == []
+
+
+# Pre-PR-9 goldens: the config fingerprints and one full cell key as
+# they were before the prefetch subsystem existed.  A default-off
+# PrefetchConfig must reproduce them exactly, so every cached cell
+# simulated before the subsystem landed is still reachable.
+_GOLDEN_SMALL_FP = "ee1ae9a08cdb8e03"
+_GOLDEN_DEFAULT_FP = "e5d9b083509524cf"
+_GOLDEN_PAIR_KEY = (
+    2, 1, "ee1ae9a08cdb8e03", ("engine", True),
+    (2, 64, 0.01, 200000, 8192, 1), (False, 0), (None, 0),
+    ("pair", "cpu_int", "ldint_mem", (4, 4)),
+    ("b58b968bf6b8a68a", "3dca7769eb3cc09a"))
+
+
+def test_prefetch_default_off_reuses_pre_prefetch_cells():
+    """Key discipline, silent side: default-off configs fingerprint
+    and key exactly as before PR 9, whether the PrefetchConfig is the
+    implicit default or spelled out."""
+    assert POWER5.small().fingerprint() == _GOLDEN_SMALL_FP
+    assert CoreConfig().fingerprint() == _GOLDEN_DEFAULT_FP
+    cell = pair_cell("cpu_int", "ldint_mem", (4, 4))
+    assert _ctx()._simcache_key(cell) == _GOLDEN_PAIR_KEY
+    explicit = _ctx(config=POWER5.small().replace(
+        prefetch=PrefetchConfig()))
+    assert explicit._simcache_key(cell) == _GOLDEN_PAIR_KEY
+
+
+def test_prefetch_knobs_enter_performance_cell_keys():
+    """Key discipline, loud side: every prefetch knob that changes
+    simulated behaviour changes the config fingerprint and therefore
+    every performance cell key."""
+    cell = pair_cell("cpu_int", "ldint_mem", (4, 4))
+
+    def key(**knobs):
+        config = POWER5.small().replace(prefetch=PrefetchConfig(**knobs))
+        return _ctx(config=config)._simcache_key(cell)
+
+    off = key()
+    on = key(enabled=(True, True), depth=4, degree=2)
+    assert on != off
+    assert key(enabled=(True, True), depth=8, degree=2) != on
+    assert key(enabled=(True, True), depth=4, degree=4) != on
+    assert key(enabled=(True, False), depth=4, degree=2) != on
+    assert (key(enabled=(True, True), depth=4, degree=2,
+                streams=4) != on)
+    assert (key(enabled=(True, True), depth=4, degree=2,
+                stride_matches=1) != on)
