@@ -56,11 +56,18 @@ def _run_prefetch(cache_dir):
     return report, wall, cache.stats()
 
 
-def _step_wall(null_pf: bool, cycles: int = 400_000) -> float:
-    """Best-of-3 wall-clock of a miss-heavy pair run."""
+def _step_walls(cycles: int = 400_000, repeats: int = 5):
+    """Interleaved best-of-N walls of a miss-heavy pair run.
+
+    Returns ``(bare, default_off)``: prefetcher nulled out vs the
+    default-off prefetcher on the L1-miss path.  The arms are
+    interleaved so a host-load spike lands on both alike -- measured
+    back to back, a spike on one arm used to swing the ~2-3%-scale
+    overhead fraction negative and flap the gate on busy CI hosts.
+    """
     config = POWER5.small()
-    best = float("inf")
-    for _ in range(3):
+
+    def one(null_pf: bool) -> float:
         core = make_core(config)
         core.load([make_microbenchmark("ldint_mem", config),
                    make_microbenchmark("ldint_mem", config,
@@ -70,8 +77,13 @@ def _step_wall(null_pf: bool, cycles: int = 400_000) -> float:
             core.hierarchy._pf = None
         start = time.perf_counter()
         core.step(cycles)
-        best = min(best, time.perf_counter() - start)
-    return best
+        return time.perf_counter() - start
+
+    bare = default_off = float("inf")
+    for _ in range(repeats):
+        bare = min(bare, one(True))
+        default_off = min(default_off, one(False))
+    return bare, default_off
 
 
 def test_bench_prefetch_cold_vs_warm_and_default_off_overhead(
@@ -87,9 +99,12 @@ def test_bench_prefetch_cold_vs_warm_and_default_off_overhead(
     assert cold_stats["stores"] == cold_stats["misses"] > 0
     assert warm_stats["misses"] == 0
 
-    bare = _step_wall(null_pf=True)
-    default_off = _step_wall(null_pf=False)
-    overhead = (default_off - bare) / bare
+    bare, default_off = _step_walls()
+    # The true overhead cannot be negative (the default-off path does
+    # strictly more work); a negative estimate is residual timer noise,
+    # so clamp the recorded stat at the estimator's physical floor and
+    # keep the raw walls alongside it.
+    overhead = max(0.0, (default_off - bare) / bare)
 
     claims = cold_report.data["claims"]
     speedup = cold_wall / warm_wall if warm_wall else None
@@ -98,6 +113,8 @@ def test_bench_prefetch_cold_vs_warm_and_default_off_overhead(
         "warm_wall_s": round(warm_wall, 2),
         "speedup_warm": round(speedup, 2) if speedup else None,
         "cells_cached": cold_stats["stores"],
+        "bare_wall_s": round(bare, 4),
+        "default_off_wall_s": round(default_off, 4),
         "default_off_overhead_frac": round(overhead, 4),
         "cotuning_margins": {
             e["pair"]: round(e["margin_frac"], 4)

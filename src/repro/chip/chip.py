@@ -107,6 +107,10 @@ class Chip:
         (core-id) order, and since they interact only through the
         occupancy-scheduled bus the quantum size and order never change
         simulated results -- only how far arbitration state runs ahead.
+        That invariance is what lets the slice grow adaptively: once
+        every active core is in a verified bus-quiet steady regime the
+        remaining span is handed over in one quantum, so array-engine
+        cores telescope chip runs instead of re-verifying per slice.
         """
         if self.config.n_cores == 1:
             if self._active[0]:
@@ -118,6 +122,19 @@ class Chip:
         bus = self.bus
         while remaining > 0:
             q = quantum if remaining >= quantum else remaining
+            # Adaptive slicing: when every active core sits in a
+            # verified bus-quiet steady regime (see
+            # ``SMTCore.steady_bus_quiet``), none of them can touch the
+            # shared bus until its regime voids, so synchronizing them
+            # every sync_quantum cycles buys nothing -- hand each core
+            # the whole remaining span and let its telescoper jump it.
+            # ``bus.advance`` only raises the pruning floor, so running
+            # arbitration state further ahead changes no grant.
+            if remaining > q and all(
+                    core.steady_bus_quiet()
+                    for core_id, core in enumerate(self.cores)
+                    if self._active[core_id]):
+                q = remaining
             bus.advance(self.now)
             for core_id, core in enumerate(self.cores):
                 if self._active[core_id]:

@@ -45,7 +45,14 @@ identity -- no per-repetition hashing.
 from __future__ import annotations
 
 from repro.config import CoreConfig
-from repro.core.smt_core import _PLAN_VETO_CYCLES, SMTCore
+from repro.core.smt_core import (
+    _PLAN_VETO_CYCLES,
+    _PLAN_VETO_GIVEUP,
+    _PLAN_VETO_MAX,
+    _PLAN_VETO_SHORT,
+    SMTCore,
+)
+from repro.core.steadyreplay import _VERIFIED as _VERIFIED_STATE
 from repro.core.steadyreplay import SteadyReplay
 from repro.core.thread import HardwareThread
 from repro.isa.compiled import SCOREBOARD_SLOTS
@@ -260,13 +267,19 @@ class ArraySMTCore(SMTCore):
     def step(self, cycles: int) -> int:
         """Simulate ``cycles`` cycles; returns cycles actually run.
 
-        Uninstrumented runs go through the steady-state replay driver
+        Runs go through the steady-state replay driver
         (:mod:`repro.core.steadyreplay`), which mixes dense spans with
         exact whole-period jumps once the machine has settled into a
-        verified periodic regime.  Anything that can observe state
-        inside a period -- tracer, repetition gate, periodic hooks
-        (PMU sampling, the governor), a chip fabric port -- forces the
-        plain dense path, as does ``steady_replay = False``.
+        verified periodic regime.  Hooked runs (PMU sampling, the
+        governor, kernel timer ticks) telescope too: the driver clamps
+        every jump at the next pending fire time and dense spans fire
+        hooks at their exact cycle, so observations land on the same
+        cycles with the same counter values as a fully dense run.
+        Chip-attached cores (``hierarchy.chip_port``) telescope only
+        inside regimes verified to make zero shared-bus grants.  Only
+        the tracer and repetition gates -- per-cycle observers no jump
+        can reproduce -- force the plain dense path, as does
+        ``steady_replay = False``.
         """
         if cycles <= 0:
             return 0
@@ -274,12 +287,30 @@ class ArraySMTCore(SMTCore):
         if (replay is None or replay.disabled
                 or not self.steady_replay
                 or self._tracer is not None
-                or self._rep_gate is not None
-                or self._hooks
-                or self.hierarchy.chip_port is not None):
+                or self._rep_gate is not None):
             return self._step_dense(cycles)
         replay.run(self._cycle + cycles)
         return cycles
+
+    def steady_bus_quiet(self) -> bool:
+        """True in a verified steady regime that never touches the bus.
+
+        :class:`~repro.chip.Chip` uses this to enlarge its
+        synchronization quantum: a chip-attached core only reaches
+        ``_VERIFIED`` when its verification period made zero shared-bus
+        grants, so until the regime voids it cannot interact with
+        sibling cores and fine slicing buys nothing.  Periodic hooks
+        (kernel timer, governor, sampler) do not disqualify a core:
+        they fire at their exact cycles inside any quantum (jumps clamp
+        at the next fire time) and touch only their own core's state.
+        """
+        replay = self._steady
+        return (replay is not None and not replay.disabled
+                and self.steady_replay
+                and replay.state == _VERIFIED_STATE
+                and replay.port_quiet
+                and self._tracer is None
+                and self._rep_gate is None)
 
     def _step_dense(self, cycles: int) -> int:  # noqa: C901 (the hot loop)
         """Simulate ``cycles`` cycles one at a time (no telescoping)."""
@@ -309,7 +340,7 @@ class ArraySMTCore(SMTCore):
         horizon = bal.FLUSH_HORIZON
 
         prio_p, prio_s = self.priorities
-        fast = cfg.fast_forward
+        fast = cfg.fast_forward and not self._ff_giveup
         gct_groups = cfg.gct_groups
         bal_on = bal_enabled and t0 is not None and t1 is not None
         misp_pen = cfg.branch.mispredict_penalty
@@ -399,6 +430,8 @@ class ArraySMTCore(SMTCore):
         if 0 <= nh < due:
             due = nh
         plan_veto = 0
+        veto_len = _PLAN_VETO_CYCLES
+        giveup_left = _PLAN_VETO_GIVEUP
         while now < end:
             slow = now >= due
             if slow and now >= next_gc:
@@ -759,6 +792,8 @@ class ArraySMTCore(SMTCore):
                     if now >= h[1]:
                         h[1] += h[0]
                         h[2](self, now)
+                        if not h[3]:
+                            self._hook_mut_gen += 1
                 self._next_hook = min(h[1] for h in self._hooks)
                 if t0 is not None:
                     own0, gh0, ret0 = (t0.owned_slots, t0.gct_held,
@@ -825,7 +860,14 @@ class ArraySMTCore(SMTCore):
                              or ((da == 1 or db == 1) and avail1
                                  and su1 <= now and not bst1
                                  and not thr1))):
-                    plan_veto = _PLAN_VETO_CYCLES
+                    plan_veto = veto_len
+                    if veto_len < _PLAN_VETO_MAX:
+                        veto_len *= 2
+                    elif giveup_left:
+                        giveup_left -= 1
+                        if not giveup_left:
+                            fast = False
+                            self._ff_giveup = True
                 else:
                     # The planner reads slot/GCT/stall/position state;
                     # the accounting writes the slot-loss counters.
@@ -853,6 +895,7 @@ class ArraySMTCore(SMTCore):
                     target = self._skip_target(now, end, prio_p, prio_s)
                     if target > now:
                         self._account_skip(now, target)
+                        short = target - now < _PLAN_VETO_SHORT
                         now = target
                         if t0 is not None:
                             own0 = t0.owned_slots
@@ -868,8 +911,29 @@ class ArraySMTCore(SMTCore):
                             ls1 = t1.slots_lost_stall
                             lb1 = t1.slots_lost_balancer
                             lt1 = t1.slots_lost_throttle
+                        if short:
+                            # Short skips (see _PLAN_VETO_SHORT) count
+                            # as unproductive for the back-off.
+                            plan_veto = veto_len
+                            if veto_len < _PLAN_VETO_MAX:
+                                veto_len *= 2
+                            elif giveup_left:
+                                giveup_left -= 1
+                                if not giveup_left:
+                                    fast = False
+                                    self._ff_giveup = True
+                        else:
+                            veto_len = _PLAN_VETO_CYCLES
+                            giveup_left = _PLAN_VETO_GIVEUP
                     else:
-                        plan_veto = _PLAN_VETO_CYCLES
+                        plan_veto = veto_len
+                        if veto_len < _PLAN_VETO_MAX:
+                            veto_len *= 2
+                        elif giveup_left:
+                            giveup_left -= 1
+                            if not giveup_left:
+                                fast = False
+                                self._ff_giveup = True
 
         if t0 is not None:
             t0.owned_slots = own0

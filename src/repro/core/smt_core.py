@@ -74,6 +74,32 @@ _OP_PRIO = int(OpClass.PRIO_NOP)
 #: after a failed attempt lose at most this many skippable cycles.
 _PLAN_VETO_CYCLES = 8
 
+#: Ceiling of the adaptive veto back-off.  Dense-dispatch phases (an
+#: SMT pair trading every slot) never yield a skip, so repeated
+#: unproductive attempts double the veto up to this bound -- capping
+#: planner overhead at ~1/256 of no-dispatch cycles -- while one
+#: successful skip resets it so skip-rich (DRAM-bound) phases are
+#: planned at full rate.  The veto only delays *when* the planner is
+#: consulted; suppression is always exact, so simulated state is
+#: identical at any veto length.
+_PLAN_VETO_MAX = 256
+
+#: Skips shorter than this do not reset the veto back-off: a skip that
+#: saves fewer cycles than the planner consult costs is a net loss, so
+#: it must not re-arm full-rate planning.  The skip itself is still
+#: taken -- it is exact and already computed.
+_PLAN_VETO_SHORT = 16
+
+#: Consecutive unproductive consults *at the maximum veto* before the
+#: fast path gives up for the rest of the run.  Workloads that trade a
+#: dispatch nearly every cycle (e.g. an L2-resident load thread paired
+#: with an integer thread) never yield a profitable skip; past this
+#: point even the per-cycle veto bookkeeping is pure overhead, so the
+#: core falls back to the reference loop.  Giving up only stops
+#: *looking* for skips -- the per-cycle body is the reference
+#: behaviour, so results are identical -- and ``load`` re-arms it.
+_PLAN_VETO_GIVEUP = 8
+
 #: A repetition gate: ``gate(thread_id, rep_index, now)`` -> may start.
 RepGate = Callable[[int, int, int], bool]
 
@@ -95,8 +121,14 @@ class SMTCore:
         self._cycle = 0
         self._gct_used = 0
         self._rep_gate: RepGate | None = None
-        # Periodic hooks: list of [period, next_fire, callable(core, now)].
+        # Periodic hooks: [period, next_fire, callable(core, now),
+        # observer].  Non-observer firings bump _hook_mut_gen, which
+        # the steady-replay telescoper treats as a regime void.
         self._hooks: list[list] = []
+        self._hook_mut_gen = 0
+        # Set when the fast-forward planner has proved unproductive for
+        # the current workload (see _PLAN_VETO_GIVEUP); cleared by load.
+        self._ff_giveup = False
         # Earliest pending hook fire time (-1: no hooks).  Maintained
         # on registration and after every firing so hooks registered
         # mid-step (e.g. from another hook) are never silently skipped.
@@ -162,6 +194,8 @@ class SMTCore:
                     th.gated = True
         self._hooks = []
         self._next_hook = -1
+        self._hook_mut_gen = 0
+        self._ff_giveup = False
         self._rebuild_arbiter()
 
     def _make_thread(self, thread_id: int, source: TraceSource,
@@ -177,17 +211,42 @@ class SMTCore:
         """Stop recording pipeline events."""
         self._tracer = None
 
+    def steady_bus_quiet(self) -> bool:
+        """True when this core is in a verified bus-quiet steady regime.
+
+        :class:`~repro.chip.Chip` consults this to enlarge its
+        synchronization quantum: a core whose verified steady period
+        makes zero shared-bus requests cannot interact with its
+        siblings, so slicing it finely buys nothing.  The object engine
+        never proves periodicity, hence always ``False``; the array
+        engine overrides this (see
+        :meth:`repro.core.array_engine.ArraySMTCore.steady_bus_quiet`).
+        """
+        return False
+
     def add_periodic_hook(self, period: int,
-                          hook: Callable[["SMTCore", int], None]) -> None:
+                          hook: Callable[["SMTCore", int], None],
+                          observer: bool = False) -> None:
         """Run ``hook(core, now)`` every ``period`` cycles.
 
         Used by the kernel models to inject timer interrupts (which on
         a stock kernel reset thread priorities to MEDIUM).
+
+        ``observer=True`` declares that the hook perturbs the machine
+        -- if at all -- only through the priority interface or the
+        prefetch knobs (both of which the steady-replay telescoper
+        already watches): PMU samplers and governors qualify, as do
+        kernel timer ticks whose sole effect is a priority reset.  The
+        telescoper may then jump across the hook's firings while they
+        observe without acting; a hook left at the default
+        ``observer=False`` bumps :attr:`_hook_mut_gen` every firing,
+        voiding any verified steady regime (see
+        :mod:`repro.core.steadyreplay`).
         """
         if period < 1:
             raise ValueError("hook period must be >= 1")
         fire = self._cycle + period
-        self._hooks.append([period, fire, hook])
+        self._hooks.append([period, fire, hook, observer])
         if self._next_hook < 0 or fire < self._next_hook:
             self._next_hook = fire
 
@@ -256,7 +315,8 @@ class SMTCore:
         # Fast-forward needs every in-loop callback site to be
         # predictable; a repetition gate is an arbitrary callable
         # evaluated per cycle, so gated runs use the reference loop.
-        fast = cfg.fast_forward and self._rep_gate is None
+        fast = (cfg.fast_forward and self._rep_gate is None
+                and not self._ff_giveup)
         decode_slot = self._decode_slot
         gct_groups = cfg.gct_groups
         bal_on = bal_enabled and t0 is not None and t1 is not None
@@ -277,8 +337,15 @@ class SMTCore:
         # Veto planning for a few cycles instead; suppression is always
         # safe because the per-cycle body *is* the reference behaviour,
         # and a successful skip keeps the veto at zero so skip-rich
-        # phases (DRAM-bound spans) are planned at full rate.
+        # phases (DRAM-bound spans) are planned at full rate.  The veto
+        # window doubles after each unproductive attempt (up to
+        # _PLAN_VETO_MAX) so dense-dispatch SMT phases, which never
+        # skip, pay for the planner at most once per 256 cycles, and a
+        # run that stays unproductive even at the ceiling gives up on
+        # fast-forward entirely (_PLAN_VETO_GIVEUP).
         plan_veto = 0
+        veto_len = _PLAN_VETO_CYCLES
+        giveup_left = _PLAN_VETO_GIVEUP
         while now < end:
             if now >= next_gc:
                 self.fus.collect(now)
@@ -410,6 +477,8 @@ class SMTCore:
                     if now >= h[1]:
                         h[1] += h[0]
                         h[2](self, now)
+                        if not h[3]:
+                            self._hook_mut_gen += 1
                 self._next_hook = min(h[1] for h in self._hooks)
                 if arbiter is not self._arbiter:
                     arbiter = self._arbiter
@@ -438,14 +507,36 @@ class SMTCore:
                                  and dense_b.stall_until <= now
                                  and not dense_b.balancer_stalled
                                  and not dense_b.throttled))):
-                    plan_veto = _PLAN_VETO_CYCLES
+                    plan_veto = veto_len
+                    if veto_len < _PLAN_VETO_MAX:
+                        veto_len *= 2
+                    elif giveup_left:
+                        giveup_left -= 1
+                        if not giveup_left:
+                            fast = False
+                            self._ff_giveup = True
                 else:
                     target = self._skip_target(now, end, prio_p, prio_s)
-                    if target > now:
+                    if target >= now + _PLAN_VETO_SHORT:
                         self._account_skip(now, target)
                         now = target
+                        veto_len = _PLAN_VETO_CYCLES
+                        giveup_left = _PLAN_VETO_GIVEUP
                     else:
-                        plan_veto = _PLAN_VETO_CYCLES
+                        # A short skip is still taken (it is exact and
+                        # already computed) but counts as unproductive:
+                        # it saved less than the consult cost.
+                        if target > now:
+                            self._account_skip(now, target)
+                            now = target
+                        plan_veto = veto_len
+                        if veto_len < _PLAN_VETO_MAX:
+                            veto_len *= 2
+                        elif giveup_left:
+                            giveup_left -= 1
+                            if not giveup_left:
+                                fast = False
+                                self._ff_giveup = True
 
         self._cycle = now
         return cycles

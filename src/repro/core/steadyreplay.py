@@ -39,13 +39,35 @@ Three state classes get three treatments:
   the resident relative order, so every future hit/miss/eviction
   decision is unchanged.
 
-The telescoper never engages when any observer could see inside a
-period: instrumented runs (tracer, repetition gate, periodic hooks --
-which covers PMU sampling and the governor), chip-attached cores (the
-shared fabric breaks autonomy), or sources whose repetitions are not
-the identical trace object (checked before every jump).  A failed
-verification just resumes dense simulation -- detection is pure
-overhead bounded by one signature comparison per retry, and the
+Instrumented and chip-attached runs telescope too, under three extra
+fences (dense fallback remains for the tracer and repetition gates,
+whose per-cycle observations no jump can reproduce):
+
+- *periodic hooks* fire at exact cycles because dense spans already
+  fold ``_next_hook`` into their deadline and :meth:`SteadyReplay.run`
+  clamps every jump at the next pending fire time -- a jump never
+  crosses a hook firing, and a due hook is discharged by one dense
+  cycle.  Hooks themselves are free to perturb the machine: a hook
+  registered as an *observer* (PMU samplers, governors, stock-kernel
+  timer ticks) promises its mutations, if any, land in the priority
+  interface or the prefetch knobs, both of which already void a
+  verified regime (arbiter identity, ``knob_gen``); any non-observer
+  hook firing bumps ``SMTCore._hook_mut_gen``, which voids the regime
+  the same way.
+- *chip-attached cores* (``hierarchy.chip_port`` set) only earn a
+  verified regime when the verification period made **zero** shared-
+  bus grants: the bus is stateless occupancy booking, so a core whose
+  period never touches it is autonomous for as long as the regime
+  holds, and jumps are sound by induction.  A period that does touch
+  the bus fails verification and backs off like any signature
+  mismatch.
+- *jump length* is clamped to the largest ``k`` whose landing
+  repetition still decodes the verified trace object (halving on
+  mismatch), so a bounded source ending mid-horizon degrades to
+  shorter jumps before falling back to dense.
+
+A failed verification just resumes dense simulation -- detection is
+pure overhead bounded by one signature comparison per retry, and the
 densely simulated verification cycles count toward the run anyway.
 """
 
@@ -255,6 +277,14 @@ def _block(ends):
     return 0, 0
 
 
+def _cycle_index(rel, phase):
+    """Last index of ``phase`` in one period's event-phase pattern."""
+    for i in range(len(rel) - 1, -1, -1):
+        if rel[i] == phase:
+            return i
+    return -1
+
+
 class SteadyReplay:
     """Per-load telescoping driver owned by one ``ArraySMTCore``.
 
@@ -265,7 +295,8 @@ class SteadyReplay:
     """
 
     __slots__ = ("core", "disabled", "state", "period", "anchor", "arb",
-                 "pf_gen", "slots", "sig1", "snap", "lens", "base",
+                 "pf_gen", "hook_gen", "port_base", "port_quiet",
+                 "slots", "sig1", "snap", "lens", "base",
                  "deltas", "suffix", "tab_len", "thr_interval", "bal_on",
                  "jumps", "jumped_cycles", "_retry_at", "_fails")
 
@@ -277,6 +308,11 @@ class SteadyReplay:
         self.anchor = 0
         self.arb = None
         self.pf_gen = -1
+        self.hook_gen = -1
+        # Chip-port grant counts at _begin; a verified regime under a
+        # chip port requires a zero delta (bus-quiet period).
+        self.port_base = None
+        self.port_quiet = False
         self.slots = _counter_slots(core)
         self.sig1 = None
         self.snap = None
@@ -305,25 +341,37 @@ class SteadyReplay:
             now = core._cycle
             if self.state != _IDLE and (
                     core._arbiter is not self.arb
-                    or core.hierarchy.prefetcher.knob_gen != self.pf_gen):
-                # Priorities changed (sysfs write, priority nop) or a
-                # prefetch knob was retuned: the behaviour the regime
-                # was verified against is gone, so the regime is void.
+                    or core.hierarchy.prefetcher.knob_gen != self.pf_gen
+                    or core._hook_mut_gen != self.hook_gen):
+                # Priorities changed (sysfs write, priority nop), a
+                # prefetch knob was retuned, or a non-observer hook
+                # fired: the behaviour the regime was verified against
+                # is gone, so the regime is void.
                 self.state = _IDLE
                 self.sig1 = self.deltas = self.suffix = None
+                self.port_quiet = False
                 continue
             if self.disabled:
                 dense(end - now)
                 return
             if self.state == _VERIFIED:
-                phi = (now - self.anchor) % self.period
-                if phi:
-                    dense(min(end - now, self.period - phi))
+                # Never jump across a pending hook: dense spans fire
+                # hooks at their exact cycle (the dense loop folds
+                # _next_hook into its deadline), so clamping the
+                # telescoped horizon at the next fire time preserves
+                # exact firing.  A hook due *now* is discharged by one
+                # dense cycle (whose hook block also reloads state and
+                # revalidates dispatch tables); if it retuned anything,
+                # the void check above catches it next iteration.
+                nh = core._next_hook
+                if 0 <= nh <= now:
+                    dense(1)
                     continue
-                k = (end - now) // self.period
+                limit = end if nh < 0 or nh >= end else nh
+                k = (limit - now) // self.period
                 if k > 0 and self._jump(k):
                     continue
-                dense(end - now)
+                dense(limit - now)
             elif self.state == _VERIFYING:
                 target = self.anchor + self.period
                 dense(min(end, target) - now)
@@ -372,6 +420,8 @@ class SteadyReplay:
         self.anchor = core._cycle
         self.arb = core._arbiter
         self.pf_gen = core.hierarchy.prefetcher.knob_gen
+        self.hook_gen = core._hook_mut_gen
+        self.port_base = self._port_grants()
         self.thr_interval = core.balancer.config.throttle_interval
         self.sig1 = _signature(core, self.tab_len, self.thr_interval,
                                self.bal_on)
@@ -384,19 +434,33 @@ class SteadyReplay:
                      for th in core._threads]
         self.state = _VERIFYING
 
+    def _port_grants(self):
+        """Shared-bus grant counts for this core, or None off-chip."""
+        port = self.core.hierarchy.chip_port
+        if port is None:
+            return None
+        cid = port.core_id
+        l2, mem = port._l2.grants[cid], port._mem.grants[cid]
+        return (l2[0], l2[1], mem[0], mem[1])
+
     def _check(self) -> None:
         core = self.core
         sig2 = _signature(core, self.tab_len, self.thr_interval,
                           self.bal_on)
-        if sig2 != self.sig1:
+        if sig2 != self.sig1 or self._port_grants() != self.port_base:
             # Not steady yet (warmup transient, misaligned throttle
-            # phase, aperiodic source).  Back off exponentially: each
-            # retry costs one signature comparison.
+            # phase, aperiodic source) -- or, chip-attached, the period
+            # touched the shared bus, so the core is not autonomous and
+            # jumping it would skip grants its siblings must contend
+            # with.  Back off exponentially: each retry costs one
+            # signature comparison.
             self._fails += 1
             self._retry_at = self._lead() + 8 * (1 << min(self._fails, 6))
             self.state = _IDLE
             self.sig1 = self.snap = self.lens = self.base = None
+            self.port_quiet = False
             return
+        self.port_quiet = self.port_base is not None
         after = _read(self.slots)
         self.deltas = [b - a for a, b in zip(self.snap, after)]
         anchor = self.anchor
@@ -420,45 +484,119 @@ class SteadyReplay:
     # -- the jump -------------------------------------------------------
 
     def _jump(self, k: int) -> bool:
-        """Advance ``k`` verified periods in one exact translation."""
+        """Advance up to ``k`` verified periods in one exact translation.
+
+        Jumps are phase-free: signature equality at the anchor proves
+        ``state(anchor + t)`` and ``state(anchor + t + P)`` are time-
+        translates for every ``t >= 0`` (determinism propagates the
+        anchor equality forward cycle by cycle), so a jump may start at
+        any phase of the period.  Per-period counter deltas are phase-
+        independent (any ``P``-cycle window sums every residue's
+        per-cycle increment exactly once) and future-dated records
+        translate by ``k * P`` from any phase; the per-repetition logs
+        are extended by continuing the verified cyclic per-period
+        pattern from the last recorded event.
+
+        ``k`` is clamped by halving to the largest jump whose landing
+        repetition still decodes the verified trace object, so a
+        bounded source whose quota ends inside the horizon takes the
+        shorter jumps it can still prove; only when not even one
+        period fits (the quota ends within the next period) does the
+        telescoper disable itself and fall back to dense.
+        """
         core = self.core
         threads = core._threads
         now = core._cycle
         period = self.period
-        dt = k * period
+        anchor = self.anchor
         # Telescoped repetitions must decode the very trace object the
         # verified period decoded; sources are contractually
         # deterministic in rep_index, so object identity at the
         # landing repetition certifies every one in between.
+        while k:
+            ok = True
+            for th, suf in zip(threads, self.suffix):
+                if th is None or suf is None or th.finished or not suf[3]:
+                    continue
+                try:
+                    cur = th.source.repetition(th.rep_index)
+                    fut = th.source.repetition(th.rep_index + k * suf[3])
+                except Exception:
+                    cur = fut = None
+                if cur is not th._rep_obj or fut is not th._rep_obj:
+                    ok = False
+                    break
+            if ok:
+                break
+            k >>= 1
+        if not k:
+            self.disabled = True
+            return False
+        # Locate each rep log's position in the cyclic pattern before
+        # mutating anything: the last recorded event's phase must be
+        # one of the verified per-period phases (scanned from the back
+        # so simultaneous rep ends resolve to the final one appended).
+        plans = []
         for th, suf in zip(threads, self.suffix):
-            if th is None or suf is None or th.finished or not suf[3]:
+            if th is None or suf is None:
+                plans.append(None)
                 continue
-            try:
-                cur = th.source.repetition(th.rep_index)
-                fut = th.source.repetition(th.rep_index + k * suf[3])
-            except Exception:
-                cur = fut = None
-            if cur is not th._rep_obj or fut is not th._rep_obj:
+            ends_rel, _, starts_rel, _, _ = suf
+            idx_e = idx_s = -1
+            if ends_rel:
+                idx_e = _cycle_index(
+                    ends_rel, (th.rep_end_times[-1] - anchor) % period)
+            if starts_rel:
+                idx_s = _cycle_index(
+                    starts_rel, (th.rep_start_times[-1] - anchor) % period)
+            if (ends_rel and idx_e < 0) or (starts_rel and idx_s < 0):
+                # The log drifted off the verified pattern -- a regime
+                # violation the void checks should have caught; refuse
+                # to extrapolate and fall back to dense.
                 self.disabled = True
                 return False
-        for th, suf in zip(threads, self.suffix):
+            plans.append((idx_e, idx_s))
+        dt = k * period
+        for th, suf, plan in zip(threads, self.suffix, plans):
             if th is None or suf is None:
                 continue
             ends_rel, rets_rel, starts_rel, drep, dret = suf
-            if ends_rel:
+            idx_e, idx_s = plan
+            n_e = len(ends_rel)
+            if n_e:
                 ends = th.rep_end_times
                 rets = th.rep_end_retired
-                base_r = th.retired
-                for j in range(k):
-                    off = now + j * period
-                    roff = base_r + j * dret
-                    ends.extend(off + e for e in ends_rel)
-                    rets.extend(roff + r for r in rets_rel)
-            if starts_rel:
+                t, r = ends[-1], rets[-1]
+                wrap_t = period - ends_rel[-1] + ends_rel[0]
+                wrap_r = dret - rets_rel[-1] + rets_rel[0]
+                i = idx_e
+                for _ in range(k * n_e):
+                    j = i + 1
+                    if j == n_e:
+                        t += wrap_t
+                        r += wrap_r
+                        i = 0
+                    else:
+                        t += ends_rel[j] - ends_rel[i]
+                        r += rets_rel[j] - rets_rel[i]
+                        i = j
+                    ends.append(t)
+                    rets.append(r)
+            n_s = len(starts_rel)
+            if n_s:
                 starts = th.rep_start_times
-                for j in range(k):
-                    off = now + j * period
-                    starts.extend(off + s for s in starts_rel)
+                t = starts[-1]
+                wrap_t = period - starts_rel[-1] + starts_rel[0]
+                i = idx_s
+                for _ in range(k * n_s):
+                    j = i + 1
+                    if j == n_s:
+                        t += wrap_t
+                        i = 0
+                    else:
+                        t += starts_rel[j] - starts_rel[i]
+                        i = j
+                    starts.append(t)
             # Future-dated per-thread state.  Scoreboard entries at or
             # before ``now`` all mean "ready" and stay put (the write
             # sink and zero-register sentinels among them); in-flight

@@ -61,7 +61,10 @@ class IntervalSampler:
         """
         self._last = {tid: self._read(core, tid) for tid in (0, 1)
                       if core._threads[tid] is not None}
-        core.add_periodic_hook(self.period, self._on_tick)
+        # Pure observer: sampling reads counters and writes only its
+        # own sample list, so the steady-replay telescoper may jump
+        # between (never across) sample boundaries.
+        core.add_periodic_hook(self.period, self._on_tick, observer=True)
 
     @staticmethod
     def _read(core, tid: int) -> tuple[int, int, int, int, int]:

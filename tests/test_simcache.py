@@ -194,6 +194,30 @@ def test_engine_flip_misses_but_matches(tmp_path):
     assert repr(reference._cache[cell]) == repr(fast._cache[cell])
 
 
+def test_dense_era_cells_reused_across_engines(tmp_path):
+    """Engine choice never enters a cell key: dense-era cells stay warm.
+
+    ``engine`` ("array" vs "object") is normalized out of the config
+    fingerprint and deliberately absent from the key -- the engines
+    are bit-identical (differential suite), so a cache populated while
+    governed/sampled/chip cells still ran the object engine (or the
+    array engine's dense fallback, before jumps learned to clamp at
+    hook horizons) must be served verbatim to the telescoping engine.
+    Only ``fast_forward`` is a key axis.  Pinned for every cell kind,
+    then closed behaviourally: object-engine-computed cells are warm
+    hits for an array-engine context.
+    """
+    array = _ctx(tmp_path)
+    dense = _ctx(tmp_path, config=dataclasses.replace(
+        POWER5.small(), engine="object"))
+    for cell in CELLS:
+        assert array._simcache_key(cell) == dense._simcache_key(cell), cell
+    assert dense.prefetch(CELLS) == len(CELLS)   # cold: all simulated
+    assert array.prefetch(CELLS) == 0            # warm across engines
+    for cell in CELLS:
+        assert repr(array._cache[cell]) == repr(dense._cache[cell])
+
+
 def test_scope_isolation(tmp_path):
     """Irrelevant knobs don't invalidate: chip flags leave pair and
     single keys untouched; pair keys ignore the governed epoch when no
